@@ -1,0 +1,81 @@
+// Command pawmaster is the networked master node of Fig. 4: it loads the
+// layout metadata, connects to the workers (round-robin partition ownership,
+// matching pawworker's convention) and serves SQL over TCP for pawsql
+// clients.
+//
+//	pawmaster -data data.pawd -layout layout.pawl \
+//	          -workers 127.0.0.1:7101,127.0.0.1:7102 -listen 127.0.0.1:7100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"paw/internal/dataset"
+	"paw/internal/dist"
+	"paw/internal/layout"
+	"paw/internal/router"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "dataset file (.pawd; only column names are used)")
+		layoutPath = flag.String("layout", "", "layout file (.pawl)")
+		workers    = flag.String("workers", "", "comma-separated worker addresses")
+		listen     = flag.String("listen", "127.0.0.1:7100", "client listen address")
+	)
+	flag.Parse()
+	if *dataPath == "" || *layoutPath == "" || *workers == "" {
+		fatalf("-data, -layout and -workers are required")
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data, err := dataset.Read(f)
+	f.Close()
+	if err != nil {
+		fatalf("reading %s: %v", *dataPath, err)
+	}
+	lf, err := os.Open(*layoutPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	l, err := layout.Decode(lf)
+	lf.Close()
+	if err != nil {
+		fatalf("reading %s: %v", *layoutPath, err)
+	}
+	rm, err := router.NewMaster(l, data.Names())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	addrs := strings.Split(*workers, ",")
+	place := make(map[layout.ID]int, len(l.Parts))
+	for _, p := range l.Parts {
+		place[p.ID] = int(p.ID) % len(addrs)
+	}
+	m, err := dist.NewMaster(rm, addrs, place)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	addr, err := m.Start(*listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("pawmaster serving %d partitions over %d workers on %s (metadata: %d bytes)\n",
+		l.NumPartitions(), len(addrs), addr, rm.MemoryFootprint())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	m.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pawmaster: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command pawsql is the SQL client for a pawmaster: one-shot with -sql, or a
+// REPL reading statements from stdin.
+//
+//	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t WHERE l_quantity >= 10"
+//	pawsql -connect 127.0.0.1:7100
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"paw/internal/dist"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "127.0.0.1:7100", "master address")
+		sql     = flag.String("sql", "", "one-shot SQL statement (empty: REPL)")
+	)
+	flag.Parse()
+	c, err := dist.Dial(*connect)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+
+	run := func(stmt string) {
+		start := time.Now()
+		resp, err := c.Query(stmt)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("%d rows (%d sub-queries, %d partitions, %.2f MB read) in %v\n",
+			resp.Rows, resp.SubQueries, resp.PartitionsScanned,
+			float64(resp.BytesScanned)/1e6, time.Since(start).Round(time.Microsecond))
+	}
+	if *sql != "" {
+		run(*sql)
+		return
+	}
+	fmt.Println("connected; enter SQL, ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("pawsql> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		stmt := strings.TrimSpace(sc.Text())
+		if stmt == "" {
+			continue
+		}
+		if strings.EqualFold(stmt, "exit") || strings.EqualFold(stmt, "quit") {
+			return
+		}
+		run(stmt)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pawsql: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command pawworker hosts a share of a partitioned dataset and serves scan
+// requests from a pawmaster. Workers take the dataset and layout files
+// produced by pawgen; partition ownership is round-robin by convention
+// (partition id mod workers == index), so all processes agree without
+// coordination.
+//
+//	pawgen gen -dataset tpch -rows 120000 -out data.pawd
+//	pawgen partition -in data.pawd -method paw -layout-out layout.pawl
+//	pawworker -data data.pawd -layout layout.pawl -index 0 -workers 2 -listen 127.0.0.1:7101 &
+//	pawworker -data data.pawd -layout layout.pawl -index 1 -workers 2 -listen 127.0.0.1:7102 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"paw/internal/blockstore"
+	"paw/internal/dataset"
+	"paw/internal/dist"
+	"paw/internal/layout"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "dataset file (.pawd)")
+		layoutPath = flag.String("layout", "", "layout file (.pawl)")
+		index      = flag.Int("index", 0, "this worker's index")
+		workers    = flag.Int("workers", 1, "total worker count")
+		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+	)
+	flag.Parse()
+	if *dataPath == "" || *layoutPath == "" {
+		fatalf("-data and -layout are required")
+	}
+	if *index < 0 || *index >= *workers {
+		fatalf("index %d out of range for %d workers", *index, *workers)
+	}
+	data := loadData(*dataPath)
+	l := loadLayout(*layoutPath)
+	store := blockstore.Materialize(l, data, blockstore.Config{})
+
+	var mine []layout.ID
+	for _, p := range l.Parts {
+		if int(p.ID)%*workers == *index {
+			mine = append(mine, p.ID)
+		}
+	}
+	w := dist.NewWorker(store, mine)
+	addr, err := w.Start(*listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("pawworker %d/%d serving %d partitions on %s\n", *index, *workers, len(mine), addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	w.Close()
+}
+
+func loadData(path string) *dataset.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	d, err := dataset.Read(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return d
+}
+
+func loadLayout(path string) *layout.Layout {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	l, err := layout.Decode(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return l
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pawworker: "+format+"\n", args...)
+	os.Exit(1)
+}

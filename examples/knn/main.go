@@ -1,0 +1,52 @@
+// KNN on partition layouts: the paper's first future-work item (§VII) —
+// answering k-nearest-neighbour queries through the same partition
+// descriptors used for range queries, with best-first MINDIST search over
+// partitions and SMA-based row-group pruning inside them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"paw"
+	"paw/internal/blockstore"
+	"paw/internal/knn"
+)
+
+func main() {
+	// A skewed 2-d point cloud (the OSM stand-in) partitioned by PAW.
+	data := paw.GenerateOSM(100_000, 10, 51).Normalize()
+	hist := paw.SkewedWorkload(data.Domain(), 40, 52)
+	l, err := paw.Build(data, hist, paw.Options{
+		Method: paw.MethodPAW, MinRows: 16, SampleRows: 10_000,
+		Delta: paw.FractionOfDomain(data.Domain(), 0.01), DataAwareRefine: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 256})
+	fmt.Printf("%s\n\n", l)
+
+	rng := rand.New(rand.NewSource(53))
+	var totalBytes int64
+	var totalParts int
+	const queries = 5
+	for i := 0; i < queries; i++ {
+		q := paw.Point{rng.Float64(), rng.Float64()}
+		res, st, err := knn.Search(l, store, q, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalBytes += st.BytesScanned
+		totalParts += st.PartitionsScanned
+		fmt.Printf("10-NN of (%.3f, %.3f): nearest at distance %.5f, farthest %.5f\n",
+			q[0], q[1], res[0].Dist, res[len(res)-1].Dist)
+		fmt.Printf("  scanned %d/%d partitions, %d row groups (%d pruned), %.1f KB of %.1f MB\n",
+			st.PartitionsScanned, l.NumPartitions(), st.GroupsScanned, st.GroupsSkipped,
+			float64(st.BytesScanned)/1e3, float64(data.TotalBytes())/1e6)
+	}
+	fmt.Printf("\naverage per query: %.2f%% of the dataset read, %.1f partitions touched\n",
+		100*float64(totalBytes)/float64(queries)/float64(data.TotalBytes()),
+		float64(totalParts)/queries)
+}

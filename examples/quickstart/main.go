@@ -1,0 +1,49 @@
+// Quickstart: build a PAW layout on synthetic TPC-H data, compare it with
+// the Qd-tree and k-d tree baselines on a drifted future workload, and print
+// the paper's headline metric (scan ratio).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paw"
+)
+
+func main() {
+	// 1. A scaled TPC-H lineitem stand-in: 60k rows, 8 numeric attributes,
+	//    projected to 4 query dimensions and normalized so the workload
+	//    distance δ is meaningful across dimensions.
+	data := paw.GenerateTPCH(60_000, 1).Project(4).Normalize()
+	domain := data.Domain()
+
+	// 2. A historical workload of 50 range queries, and a future workload
+	//    that drifted by at most δ = 1% of the domain (Fig. 1b's scenario).
+	hist := paw.UniformWorkload(domain, 50, 2)
+	delta := paw.FractionOfDomain(domain, 0.01)
+	future := paw.FutureWorkload(hist, delta, 1, 3)
+
+	// 3. Build all three layouts. bmin is 10 rows of the 6k-row build
+	//    sample, keeping the paper's ≈600-block dataset shape.
+	opts := paw.Options{MinRows: 10, SampleRows: 6_000, Delta: delta}
+	fmt.Println("method     partitions   scan ratio (future workload)")
+	for _, m := range []paw.Method{paw.MethodQdTree, paw.MethodKdTree, paw.MethodPAW} {
+		opts.Method = m
+		l, err := paw.Build(data, hist, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := l.ScanRatio(future.Boxes(), nil)
+		fmt.Printf("%-10s %10d   %.3f%%\n", m, l.NumPartitions(), 100*ratio)
+	}
+	fmt.Printf("%-10s %10s   %.3f%%  (theoretical floor)\n",
+		"LB-Cost", "-", 100*paw.LowerBoundRatio(data, future.Boxes()))
+
+	// 4. Route one query by hand: which partitions would the master scan?
+	l, err := paw.Build(data, hist, paw.Options{Method: paw.MethodPAW, MinRows: 10, SampleRows: 6_000, Delta: delta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := future[0].Box
+	fmt.Printf("\nquery %v scans partitions %v\n", q, l.PartitionsFor(q))
+}

@@ -1,0 +1,64 @@
+// TPC-H robustness study: sweeps the workload-variance threshold δ and shows
+// how PAW's advantage over the Qd-tree grows with drift (a miniature of the
+// paper's Figure 19), then demonstrates δ estimation for the common case
+// where the real δ is unknown (§IV-E).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paw"
+)
+
+func main() {
+	data := paw.GenerateTPCH(120_000, 11).Project(4).Normalize()
+	domain := data.Domain()
+	hist := paw.UniformWorkload(domain, 50, 12)
+
+	fmt.Println("δ (% of domain)   Qd-tree   PAW      advantage")
+	for _, deltaPct := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		delta := paw.FractionOfDomain(domain, deltaPct/100)
+		future := paw.FutureWorkload(hist, delta, 1, 13)
+
+		qd, err := paw.Build(data, hist, paw.Options{
+			Method: paw.MethodQdTree, MinRows: 20, SampleRows: 12_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pw, err := paw.Build(data, hist, paw.Options{
+			Method: paw.MethodPAW, MinRows: 20, SampleRows: 12_000, Delta: delta,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		qdRatio := 100 * qd.ScanRatio(future.Boxes(), nil)
+		pwRatio := 100 * pw.ScanRatio(future.Boxes(), nil)
+		fmt.Printf("%-17.1f %-9.3f %-8.3f %.1fx\n", deltaPct, qdRatio, pwRatio, qdRatio/pwRatio)
+	}
+
+	// Unknown δ: estimate it from the history alone (§IV-E). Simulate a
+	// 100-query history whose second half drifted by at most 1.5%.
+	realDelta := paw.FractionOfDomain(domain, 0.015)
+	drifted := paw.FutureWorkload(hist, realDelta, 1, 14)
+	fullHistory := append(hist.Clone(), drifted...)
+	for i := range fullHistory {
+		fullHistory[i].Seq = int64(i) // timestamps: drifted half is newer
+	}
+	est, err := paw.EstimateDelta(fullHistory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal δ = %.4f, estimated δ' = %.4f (from the history alone)\n", realDelta, est)
+
+	l, err := paw.Build(data, fullHistory, paw.Options{
+		Method: paw.MethodPAW, MinRows: 20, SampleRows: 12_000, Delta: est, DataAwareRefine: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nextWeek := paw.FutureWorkload(fullHistory, realDelta, 1, 15)
+	fmt.Printf("PAW-unknown on next week's workload: %.3f%% scan ratio, %d partitions\n",
+		100*l.ScanRatio(nextWeek.Boxes(), nil), l.NumPartitions())
+}

@@ -1,0 +1,110 @@
+package paw
+
+// Tests for the facade's future-work extensions: beam-search construction,
+// the Hungarian similarity measure, α auto-tuning and layout persistence.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeBuildBeam(t *testing.T) {
+	data := GenerateTPCH(8_000, 41).Project(2).Normalize()
+	hist := UniformWorkload(data.Domain(), 15, 42)
+	delta := FractionOfDomain(data.Domain(), 0.01)
+	l, err := BuildBeam(data, hist, BeamOptions{
+		Options: Options{MinRows: 20, SampleRows: 1_600, Delta: delta},
+		Width:   3, Branch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Method != "paw-beam" {
+		t.Errorf("method = %q", l.Method)
+	}
+	if err := l.Validate(data, 1); err != nil {
+		t.Error(err)
+	}
+	// The beam result never loses to greedy under the construction model;
+	// on routed bytes allow small slack.
+	greedy, err := Build(data, hist, Options{MinRows: 20, SampleRows: 1_600, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := hist.Extend(delta).Boxes()
+	if b, g := l.WorkloadCost(ext, nil), greedy.WorkloadCost(ext, nil); float64(b) > float64(g)*1.05 {
+		t.Errorf("beam cost %d above greedy %d", b, g)
+	}
+	// Validation errors propagate.
+	if _, err := BuildBeam(nil, hist, BeamOptions{Options: Options{MinRows: 1}}); err == nil {
+		t.Error("nil dataset must error")
+	}
+	if _, err := BuildBeam(data, hist, BeamOptions{}); err == nil {
+		t.Error("MinRows 0 must error")
+	}
+}
+
+func TestFacadeMinAvgDelta(t *testing.T) {
+	data := GenerateTPCH(500, 43).Project(2).Normalize()
+	hist := UniformWorkload(data.Domain(), 12, 44)
+	fut := FutureWorkload(hist, 0.02, 1, 45)
+	avg, match, err := MinAvgDelta(hist, fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < 0 || avg > 0.02+1e-9 {
+		t.Errorf("avg = %v, want in [0, 0.02]", avg)
+	}
+	if len(match) != len(fut) {
+		t.Errorf("match length %d", len(match))
+	}
+}
+
+func TestFacadeTuneAlpha(t *testing.T) {
+	data := GenerateTPCH(6_000, 46).Project(2).Normalize()
+	hist := UniformWorkload(data.Domain(), 24, 47)
+	alpha, err := TuneAlpha(data, hist, Options{
+		MinRows: 15, SampleRows: 1_200,
+		Delta: FractionOfDomain(data.Domain(), 0.01),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 1 {
+		t.Errorf("tuned α = %v", alpha)
+	}
+	// The tuned α builds successfully.
+	if _, err := Build(data, hist, Options{
+		MinRows: 15, SampleRows: 1_200, Alpha: alpha,
+		Delta: FractionOfDomain(data.Domain(), 0.01),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TuneAlpha(nil, hist, Options{MinRows: 1}); err == nil {
+		t.Error("nil dataset must error")
+	}
+}
+
+func TestFacadeSaveLoadLayout(t *testing.T) {
+	data := GenerateTPCH(5_000, 48).Project(2).Normalize()
+	hist := UniformWorkload(data.Domain(), 10, 49)
+	l, err := Build(data, hist, Options{MinRows: 20, SampleRows: 1_000, Delta: FractionOfDomain(data.Domain(), 0.01)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveLayout(l, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayout(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPartitions() != l.NumPartitions() || got.Method != l.Method {
+		t.Errorf("reload mismatch: %s vs %s", got, l)
+	}
+	q := hist[0].Box
+	if got.QueryCost(q, nil) != l.QueryCost(q, nil) {
+		t.Error("reloaded layout costs differently")
+	}
+}

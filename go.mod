@@ -1,0 +1,3 @@
+module paw
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package adaptive implements an online, query-driven repartitioner in the
+// style of AQWA (Aly et al., PVLDB'15) and Amoeba (Shanbhag et al., SoCC'17)
+// — the adaptive techniques the paper positions against in §II-A. Partitions
+// are split incrementally as queries arrive: every query is charged its scan
+// cost, each partition accumulates "waste" (bytes scanned that were not part
+// of any result), and a partition whose waste exceeds a multiple of its size
+// is split at the best recent-query boundary — paying the full rewrite cost
+// of that partition, which is exactly the update overhead the paper argues
+// PAW avoids when workloads vary only within a bounded scope.
+package adaptive
+
+import (
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/qdtree"
+)
+
+// Params configures the online partitioner.
+type Params struct {
+	// MinRows is bmin in dataset rows: splits never create smaller pieces.
+	MinRows int
+	// SplitFactor triggers a split when a partition's accumulated waste
+	// exceeds SplitFactor × its size. Lower = more eager repartitioning.
+	// Defaults to 2.
+	SplitFactor float64
+	// HistoryLen is how many recent queries each partition remembers as
+	// split candidates. Defaults to 16.
+	HistoryLen int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinRows < 1 {
+		p.MinRows = 1
+	}
+	if p.SplitFactor <= 0 {
+		p.SplitFactor = 2
+	}
+	if p.HistoryLen < 1 {
+		p.HistoryLen = 16
+	}
+	return p
+}
+
+// Partitioner is the online state.
+type Partitioner struct {
+	data  *dataset.Dataset
+	p     Params
+	parts []*part
+
+	// CumulativeScanBytes is the total scan I/O charged to queries so far.
+	CumulativeScanBytes int64
+	// CumulativeWriteBytes is the total repartitioning I/O (rewritten
+	// partitions) paid so far.
+	CumulativeWriteBytes int64
+	// Splits counts repartitioning events.
+	Splits int
+}
+
+type part struct {
+	box    geom.Box
+	rows   []int
+	waste  int64
+	recent []geom.Box
+}
+
+func (pt *part) bytes(rowBytes int64) int64 { return int64(len(pt.rows)) * rowBytes }
+
+// New starts with a single partition holding the whole dataset — the
+// adaptive methods' cold start (no workload knowledge).
+func New(data *dataset.Dataset, p Params) *Partitioner {
+	p = p.withDefaults()
+	rows := make([]int, data.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return &Partitioner{
+		data:  data,
+		p:     p,
+		parts: []*part{{box: data.Domain(), rows: rows}},
+	}
+}
+
+// NumPartitions returns the current partition count.
+func (a *Partitioner) NumPartitions() int { return len(a.parts) }
+
+// Query processes one arriving query: charges its scan cost, updates waste
+// accounting, and performs any triggered repartitioning (whose write cost is
+// charged separately). It returns the scan and repartition bytes of this
+// step.
+func (a *Partitioner) Query(q geom.Box) (scanBytes, writeBytes int64) {
+	rowBytes := a.data.RowBytes()
+	var touched []*part
+	for _, pt := range a.parts {
+		if !pt.box.Intersects(q) {
+			continue
+		}
+		touched = append(touched, pt)
+		scanBytes += pt.bytes(rowBytes)
+		// Waste: scanned bytes minus the result bytes inside this part.
+		matched := int64(a.data.CountInBox(q, pt.rows)) * rowBytes
+		pt.waste += pt.bytes(rowBytes) - matched
+		pt.recent = append(pt.recent, q.Clone())
+		if len(pt.recent) > a.p.HistoryLen {
+			pt.recent = pt.recent[1:]
+		}
+	}
+	a.CumulativeScanBytes += scanBytes
+	// Repartition the touched partitions whose waste crossed the threshold.
+	for _, pt := range touched {
+		if float64(pt.waste) <= a.p.SplitFactor*float64(pt.bytes(rowBytes)) {
+			continue
+		}
+		if w := a.split(pt); w > 0 {
+			writeBytes += w
+		} else {
+			pt.waste = 0 // unsplittable: stop re-triggering every query
+		}
+	}
+	a.CumulativeWriteBytes += writeBytes
+	return scanBytes, writeBytes
+}
+
+// split replaces pt with two children cut at the best recent-query boundary,
+// returning the rewrite cost (the partition's full size) or 0 when no
+// admissible cut exists.
+func (a *Partitioner) split(pt *part) int64 {
+	if len(pt.rows) < 2*a.p.MinRows || len(pt.recent) == 0 {
+		return 0
+	}
+	queries := clipAll(pt.recent, pt.box)
+	cut, _, ok := qdtree.BestCut(a.data, pt.box, pt.rows, queries, nil, a.p.MinRows)
+	if !ok {
+		return 0
+	}
+	left, right := qdtree.SplitRows(a.data, pt.rows, cut)
+	lbox, rbox := cut.Apply(pt.box)
+	cost := pt.bytes(a.data.RowBytes())
+	l := &part{box: lbox, rows: left, recent: clipAll(pt.recent, lbox)}
+	r := &part{box: rbox, rows: right, recent: clipAll(pt.recent, rbox)}
+	for i, existing := range a.parts {
+		if existing == pt {
+			a.parts[i] = l
+			break
+		}
+	}
+	a.parts = append(a.parts, r)
+	a.Splits++
+	return cost
+}
+
+func clipAll(queries []geom.Box, box geom.Box) []geom.Box {
+	var out []geom.Box
+	for _, q := range queries {
+		if inter, ok := q.Intersection(box); ok {
+			out = append(out, inter)
+		}
+	}
+	return out
+}
+
+// Layout snapshots the current partitions as a flat, fully routed layout
+// (for cost evaluation against the static methods).
+func (a *Partitioner) Layout() *layout.Layout {
+	root := &layout.Node{Desc: layout.NewRect(a.data.Domain())}
+	for _, pt := range a.parts {
+		d := layout.NewRect(pt.box)
+		root.Children = append(root.Children, &layout.Node{
+			Desc: d,
+			Part: &layout.Partition{Desc: d, FullRows: int64(len(pt.rows))},
+		})
+	}
+	l := layout.Seal("adaptive", root, a.data.RowBytes())
+	l.TotalBytes = a.data.TotalBytes()
+	return l
+}

@@ -1,0 +1,143 @@
+package adaptive
+
+import (
+	"testing"
+
+	"paw/internal/core"
+	"paw/internal/dataset"
+	"paw/internal/workload"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestColdStart(t *testing.T) {
+	data := dataset.Uniform(2000, 2, 1)
+	a := New(data, Params{MinRows: 50})
+	if a.NumPartitions() != 1 {
+		t.Fatalf("cold start has %d partitions", a.NumPartitions())
+	}
+	// The first query scans everything.
+	w := workload.Uniform(data.Domain(), workload.Defaults(1, 2))
+	scan, _ := a.Query(w[0].Box)
+	if scan != data.TotalBytes() {
+		t.Errorf("first query scanned %d, want the full dataset %d", scan, data.TotalBytes())
+	}
+}
+
+func TestAdaptsToRepeatedQueries(t *testing.T) {
+	data := dataset.Uniform(4000, 2, 3)
+	a := New(data, Params{MinRows: 50, SplitFactor: 1})
+	w := workload.Uniform(data.Domain(), workload.Defaults(10, 4))
+	// Stream each query several times: the partitioner must split and the
+	// per-query scan cost must drop substantially.
+	var first, last int64
+	for round := 0; round < 8; round++ {
+		var total int64
+		for _, q := range w {
+			scan, _ := a.Query(q.Box)
+			total += scan
+		}
+		if round == 0 {
+			first = total
+		}
+		last = total
+	}
+	if a.NumPartitions() == 1 {
+		t.Fatal("partitioner never split")
+	}
+	if last >= first/2 {
+		t.Errorf("scan cost did not adapt: first round %d, last round %d", first, last)
+	}
+	if a.Splits == 0 || a.CumulativeWriteBytes == 0 {
+		t.Error("splits must be accounted")
+	}
+}
+
+func TestRespectsMinRows(t *testing.T) {
+	data := dataset.Uniform(3000, 2, 5)
+	a := New(data, Params{MinRows: 200, SplitFactor: 0.5})
+	w := workload.Uniform(data.Domain(), workload.Defaults(30, 6))
+	for round := 0; round < 5; round++ {
+		for _, q := range w {
+			a.Query(q.Box)
+		}
+	}
+	l := a.Layout()
+	for _, p := range l.Parts {
+		if p.FullRows < 200 {
+			t.Errorf("partition %d has %d rows, below bmin", p.ID, p.FullRows)
+		}
+	}
+	var sum int64
+	for _, p := range l.Parts {
+		sum += p.FullRows
+	}
+	if sum != 3000 {
+		t.Errorf("layout covers %d of 3000 rows", sum)
+	}
+}
+
+// TestPAWCheaperOnBoundedVariance reproduces the paper's §II-A argument:
+// when future workloads stay within a bounded distance of the history, a
+// PAW layout built once beats the adaptive scheme's cumulative cost (scans
+// plus repartitioning I/O).
+func TestPAWCheaperOnBoundedVariance(t *testing.T) {
+	data := dataset.Uniform(8000, 2, 7)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(25, 8))
+	const delta = 0.01
+
+	// PAW: built once from the history, then serves 10 future batches.
+	l := core.Build(data, allRows(8000), dom, hist, core.Params{MinRows: 80, Delta: delta})
+	l.Route(data)
+	var pawCost int64
+	for batch := int64(0); batch < 10; batch++ {
+		fut := workload.Future(hist, delta, 1, 100+batch)
+		pawCost += l.WorkloadCost(fut.Boxes(), nil)
+	}
+
+	// Adaptive: cold start, pays scans plus repartitioning for the same
+	// stream (history first, then the future batches).
+	a := New(data, Params{MinRows: 80})
+	var adaptiveCost int64
+	for _, q := range hist {
+		s, w := a.Query(q.Box)
+		adaptiveCost += s + w
+	}
+	for batch := int64(0); batch < 10; batch++ {
+		fut := workload.Future(hist, delta, 1, 100+batch)
+		for _, q := range fut {
+			s, w := a.Query(q.Box)
+			adaptiveCost += s + w
+		}
+	}
+	if pawCost >= adaptiveCost {
+		t.Errorf("PAW cumulative cost %d not below adaptive %d", pawCost, adaptiveCost)
+	}
+	t.Logf("cumulative bytes over the stream: PAW=%d adaptive=%d (%.1fx, %d splits)",
+		pawCost, adaptiveCost, float64(adaptiveCost)/float64(pawCost), a.Splits)
+}
+
+func TestUnsplittablePartitionStopsRetrying(t *testing.T) {
+	// bmin equal to the dataset: nothing can ever split; waste must reset
+	// so the loop is not retriggered forever.
+	data := dataset.Uniform(500, 2, 9)
+	a := New(data, Params{MinRows: 500, SplitFactor: 0.1})
+	w := workload.Uniform(data.Domain(), workload.Defaults(5, 10))
+	for round := 0; round < 4; round++ {
+		for _, q := range w {
+			if _, write := a.Query(q.Box); write != 0 {
+				t.Fatal("unsplittable partition must not pay write cost")
+			}
+		}
+	}
+	if a.NumPartitions() != 1 || a.Splits != 0 {
+		t.Errorf("partitions=%d splits=%d", a.NumPartitions(), a.Splits)
+	}
+}

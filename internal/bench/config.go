@@ -1,0 +1,118 @@
+// Package bench is the experiment harness: one runnable experiment per table
+// and figure of the paper's evaluation (§VI), each regenerating the same
+// rows/series the paper reports, at 1/1000 of the paper's physical scale.
+//
+// Scaling: the paper's TPC-H table is 600 M rows / 75 GB with 128 MB HDFS
+// blocks (≈600 blocks); this harness defaults to 120 k rows with bmin chosen
+// to keep the same ≈600-block ratio. All headline metrics are scan ratios
+// (% of dataset), which are invariant to this uniform scaling.
+package bench
+
+import (
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/workload"
+)
+
+// Config are the harness-wide knobs; DefaultConfig mirrors Table III.
+type Config struct {
+	// TPCHRows is the scaled row count standing in for the paper's 75 GB
+	// (600 M row) lineitem table.
+	TPCHRows int
+	// OSMRows is the scaled row count standing in for the 100 M-row OSM
+	// extract.
+	OSMRows int
+	// SampleFrac is the fraction of rows used to generate logical layouts
+	// (the paper samples 6 M of 600 M = 1%; at our scale a larger fraction
+	// keeps per-partition sample counts meaningful).
+	SampleFrac float64
+	// BlocksTarget sets bmin so the dataset occupies about this many
+	// minimum-size blocks (the paper's 75 GB / 128 MB ≈ 600).
+	BlocksTarget int
+	// NumQueries is #Q, the total query count; half historical, half
+	// future (Table III's default 100).
+	NumQueries int
+	// Dims is the number of query dimensions (TPC-H experiments).
+	Dims int
+	// DeltaFrac is δ as a fraction of the domain length (default 1%).
+	DeltaFrac float64
+	// GammaFrac is γ, the maximal query range (default 10%).
+	GammaFrac float64
+	// Centers is #C for the skewed generator (default 10).
+	Centers int
+	// SigmaFrac is σ as a fraction of γ (default 10%).
+	SigmaFrac float64
+	// MaxLBQueries caps how many future queries the exact lower bound is
+	// computed over (it is a full scan per query).
+	MaxLBQueries int
+	// Seed drives every generator.
+	Seed int64
+}
+
+// DefaultConfig returns the Table III defaults at 1/1000 scale.
+func DefaultConfig() Config {
+	return Config{
+		TPCHRows:     120_000,
+		OSMRows:      100_000,
+		SampleFrac:   0.10,
+		BlocksTarget: 600,
+		NumQueries:   100,
+		Dims:         4,
+		DeltaFrac:    0.01,
+		GammaFrac:    0.10,
+		Centers:      10,
+		SigmaFrac:    0.10,
+		MaxLBQueries: 200,
+		Seed:         20220501,
+	}
+}
+
+// genParams converts the config into workload-generator parameters for n
+// queries.
+func (c Config) genParams(n int, seed int64) workload.GenParams {
+	return workload.GenParams{
+		NumQueries:   n,
+		MaxRangeFrac: c.GammaFrac,
+		Centers:      c.Centers,
+		SigmaFrac:    c.SigmaFrac,
+		Seed:         seed,
+	}
+}
+
+// tpch builds the TPC-H stand-in projected to the configured query
+// dimensions and normalized to [0,1] per dimension (δ is an L∞ threshold
+// across dimensions, so scales must be commensurable).
+func (c Config) tpch() *dataset.Dataset {
+	return dataset.TPCHLike(c.TPCHRows, c.Seed).Project(c.Dims).Normalize()
+}
+
+// osm builds the OSM stand-in (always 2-d), normalized like tpch.
+func (c Config) osm() *dataset.Dataset {
+	return dataset.OSMLike(c.OSMRows, 12, c.Seed+1).Normalize()
+}
+
+// minRowsFor returns bmin in sample rows for a dataset of n rows sampled at
+// SampleFrac, targeting BlocksTarget blocks.
+func (c Config) minRowsFor(n int) int {
+	sample := int(float64(n) * c.SampleFrac)
+	m := sample / c.BlocksTarget
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// sampleRowsFor returns the sample size for a dataset of n rows.
+func (c Config) sampleRowsFor(n int) int {
+	s := int(float64(n) * c.SampleFrac)
+	if s < 100 {
+		s = 100
+	}
+	return s
+}
+
+// deltaAbs converts DeltaFrac into absolute units on the given domain (the
+// paper expresses δ as a percentage of the domain length).
+func deltaAbs(domain geom.Box, frac float64) float64 {
+	return frac * (domain.Hi[0] - domain.Lo[0])
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced table or figure series, printable in a paper-like
+// layout: one row per x-axis value, one column per method.
+type Table struct {
+	// ID matches the DESIGN.md experiment index (e.g. "fig16").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the varied parameter.
+	XLabel string
+	// Unit names the measured quantity.
+	Unit string
+	// Methods is the column order.
+	Methods []string
+	// Rows are the data points in x order.
+	Rows []TableRow
+	// Notes carry any scaling caveats.
+	Notes []string
+}
+
+// TableRow is one x-axis point.
+type TableRow struct {
+	X      string
+	Values map[string]float64
+}
+
+// AddRow appends a data point.
+func (t *Table) AddRow(x string, values map[string]float64) {
+	t.Rows = append(t.Rows, TableRow{X: x, Values: values})
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&sb, "unit: %s\n", t.Unit)
+	}
+	widths := make([]int, len(t.Methods)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(t.Methods))
+		for j, m := range t.Methods {
+			v, ok := r.Values[m]
+			s := "-"
+			if ok {
+				s = formatValue(v)
+			}
+			cells[i][j] = s
+			if len(s) > widths[j+1] {
+				widths[j+1] = len(s)
+			}
+		}
+	}
+	for j, m := range t.Methods {
+		if len(m) > widths[j+1] {
+			widths[j+1] = len(m)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", widths[0], t.XLabel)
+	for j, m := range t.Methods {
+		fmt.Fprintf(&sb, "  %*s", widths[j+1], m)
+	}
+	sb.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", widths[0], r.X)
+		for j := range t.Methods {
+			fmt.Fprintf(&sb, "  %*s", widths[j+1], cells[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**%s — %s**", t.ID, t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&sb, " _(%s)_", t.Unit)
+	}
+	sb.WriteString("\n\n")
+	fmt.Fprintf(&sb, "| %s |", t.XLabel)
+	for _, m := range t.Methods {
+		fmt.Fprintf(&sb, " %s |", m)
+	}
+	sb.WriteString("\n|")
+	for range t.Methods {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("---|\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "| %s |", r.X)
+		for _, m := range t.Methods {
+			if v, ok := r.Values[m]; ok {
+				fmt.Fprintf(&sb, " %s |", formatValue(v))
+			} else {
+				sb.WriteString(" - |")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n_%s_\n", n)
+	}
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}

@@ -1,0 +1,145 @@
+// Package blockstore simulates the block-based distributed storage layer
+// (HDFS / S3 / Databricks in the paper): a routed partition layout is
+// materialised into one columnar table per partition, occupying an integral
+// number of fixed-size blocks. The store accounts bytes written and a
+// simulated write time so the Table II construction-time breakdown (layout
+// generation vs routing + I/O) can be reproduced.
+package blockstore
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"paw/internal/colstore"
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Config configures the store.
+type Config struct {
+	// BlockBytes is the block size (the paper's 128 MB HDFS block, scaled
+	// to this repository's world). Partitions occupy ceil(size/BlockBytes)
+	// blocks.
+	BlockBytes int64
+	// GroupRows is the row-group size of the per-partition columnar tables.
+	GroupRows int
+	// WriteMBps is the simulated sequential write throughput used to model
+	// the "routing and I/O time" of Table II.
+	WriteMBps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 128 << 10 // 128 KB: the paper's 128 MB scaled 1/1000
+	}
+	if c.GroupRows <= 0 {
+		c.GroupRows = colstore.DefaultGroupRows
+	}
+	if c.WriteMBps <= 0 {
+		c.WriteMBps = 120 // one HDD's sequential write speed
+	}
+	return c
+}
+
+// StoredPartition is a materialised partition.
+type StoredPartition struct {
+	ID     layout.ID
+	Table  *colstore.Table
+	Blocks int
+}
+
+// Bytes returns the partition's physical size.
+func (p *StoredPartition) Bytes() int64 { return p.Table.Bytes() }
+
+// Store holds the materialised partitions of one layout.
+type Store struct {
+	cfg   Config
+	parts map[layout.ID]*StoredPartition
+
+	// BytesWritten is the total payload written at materialisation.
+	BytesWritten int64
+	// RoutingTime is the measured wall-clock time spent routing records.
+	RoutingTime time.Duration
+	// SimWriteTime is the simulated disk time for writing the partitions.
+	SimWriteTime time.Duration
+}
+
+// Materialize routes the full dataset through the layout and writes every
+// partition as a columnar table. The layout must already be sealed; Route is
+// (re)run here so partition sizes reflect the dataset.
+func Materialize(l *layout.Layout, data *dataset.Dataset, cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rows := make([]int, data.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	l.RouteParallel(data, runtime.NumCPU())
+	byPart := l.RouteIndices(data, rows)
+	routing := time.Since(start)
+
+	s := &Store{cfg: cfg, parts: make(map[layout.ID]*StoredPartition, len(l.Parts)), RoutingTime: routing}
+	for _, p := range l.Parts {
+		tab := colstore.FromDataset(data, byPart[p.ID], cfg.GroupRows)
+		blocks := int((tab.Bytes() + cfg.BlockBytes - 1) / cfg.BlockBytes)
+		if blocks == 0 {
+			blocks = 1
+		}
+		s.parts[p.ID] = &StoredPartition{ID: p.ID, Table: tab, Blocks: blocks}
+		s.BytesWritten += tab.Bytes()
+	}
+	s.SimWriteTime = time.Duration(float64(s.BytesWritten) / (cfg.WriteMBps * 1e6) * float64(time.Second))
+	return s
+}
+
+// Partition returns the stored partition with the given ID.
+func (s *Store) Partition(id layout.ID) (*StoredPartition, error) {
+	p, ok := s.parts[id]
+	if !ok {
+		return nil, fmt.Errorf("blockstore: unknown partition %d", id)
+	}
+	return p, nil
+}
+
+// NumPartitions returns the number of stored partitions.
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+// TotalBlocks returns the number of storage blocks in use.
+func (s *Store) TotalBlocks() int {
+	t := 0
+	for _, p := range s.parts {
+		t += p.Blocks
+	}
+	return t
+}
+
+// BlockBytes returns the configured block size.
+func (s *Store) BlockBytes() int64 { return s.cfg.BlockBytes }
+
+// ScanPartition scans one partition with the query, using row-group pruning.
+func (s *Store) ScanPartition(id layout.ID, q geom.Box) (colstore.ScanStats, error) {
+	p, err := s.Partition(id)
+	if err != nil {
+		return colstore.ScanStats{}, err
+	}
+	return p.Table.Count(q), nil
+}
+
+// ScanAll scans the listed partitions and sums the statistics — the storage
+// side of Fig. 4's query flow.
+func (s *Store) ScanAll(ids []layout.ID, q geom.Box) (colstore.ScanStats, error) {
+	var total colstore.ScanStats
+	for _, id := range ids {
+		st, err := s.ScanPartition(id, q)
+		if err != nil {
+			return total, err
+		}
+		total.Matched += st.Matched
+		total.BytesRead += st.BytesRead
+		total.GroupsRead += st.GroupsRead
+		total.GroupsSkipped += st.GroupsSkipped
+	}
+	return total, nil
+}

@@ -1,0 +1,105 @@
+package blockstore
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/kdtree"
+	"paw/internal/workload"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestMaterialize(t *testing.T) {
+	data := dataset.Uniform(4000, 2, 1)
+	l := kdtree.Build(data, allRows(4000), data.Domain(), kdtree.Params{MinRows: 200})
+	s := Materialize(l, data, Config{BlockBytes: 1 << 12, GroupRows: 64})
+	if s.NumPartitions() != l.NumPartitions() {
+		t.Fatalf("stored %d partitions, layout has %d", s.NumPartitions(), l.NumPartitions())
+	}
+	if s.BytesWritten != data.TotalBytes() {
+		t.Errorf("bytes written = %d, want %d", s.BytesWritten, data.TotalBytes())
+	}
+	if s.SimWriteTime <= 0 || s.RoutingTime <= 0 {
+		t.Errorf("timings not recorded: write=%v route=%v", s.SimWriteTime, s.RoutingTime)
+	}
+	// Block accounting: every partition occupies >= 1 block, and total
+	// blocks >= totalBytes/blockSize.
+	minBlocks := int(data.TotalBytes() / (1 << 12))
+	if got := s.TotalBlocks(); got < minBlocks {
+		t.Errorf("total blocks = %d, want >= %d", got, minBlocks)
+	}
+	for _, p := range l.Parts {
+		sp, err := s.Partition(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Bytes() != p.Bytes() {
+			t.Errorf("partition %d stored %d bytes, layout says %d", p.ID, sp.Bytes(), p.Bytes())
+		}
+	}
+}
+
+func TestUnknownPartition(t *testing.T) {
+	data := dataset.Uniform(500, 2, 2)
+	l := kdtree.Build(data, allRows(500), data.Domain(), kdtree.Params{MinRows: 100})
+	s := Materialize(l, data, Config{})
+	if _, err := s.Partition(9999); err == nil {
+		t.Error("unknown partition must error")
+	}
+	if _, err := s.ScanPartition(9999, data.Domain()); err == nil {
+		t.Error("scan of unknown partition must error")
+	}
+}
+
+// TestScanAgainstRouter: scanning exactly the partitions the master selects
+// returns exactly the query's result rows.
+func TestScanAgainstRouter(t *testing.T) {
+	data := dataset.Uniform(6000, 2, 3)
+	l := kdtree.Build(data, allRows(6000), data.Domain(), kdtree.Params{MinRows: 200})
+	s := Materialize(l, data, Config{GroupRows: 128})
+	w := workload.Uniform(data.Domain(), workload.Defaults(30, 4))
+	for _, q := range w.Boxes() {
+		st, err := s.ScanAll(l.PartitionsFor(q), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := data.CountInBox(q, nil); st.Matched != want {
+			t.Fatalf("scan matched %d rows, dataset has %d in %v", st.Matched, want, q)
+		}
+		// Row-group pruning never reads more than the nominal I/O cost.
+		if st.BytesRead > l.QueryCost(q, nil) {
+			t.Fatalf("scan read %d bytes, above nominal cost %d", st.BytesRead, l.QueryCost(q, nil))
+		}
+	}
+}
+
+func TestRowGroupPruningReducesBytes(t *testing.T) {
+	data := dataset.Uniform(8000, 2, 5)
+	l := kdtree.Build(data, allRows(8000), data.Domain(), kdtree.Params{MinRows: 2000})
+	s := Materialize(l, data, Config{GroupRows: 64})
+	w := workload.Uniform(data.Domain(), workload.Defaults(25, 6))
+	var nominal, read int64
+	for _, q := range w.Boxes() {
+		ids := l.PartitionsFor(q)
+		for _, id := range ids {
+			p, _ := s.Partition(id)
+			nominal += p.Bytes()
+		}
+		st, err := s.ScanAll(ids, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read += st.BytesRead
+	}
+	if read >= nominal {
+		t.Errorf("row-group pruning read %d of %d nominal bytes — no pruning at all", read, nominal)
+	}
+	t.Logf("row-group pruning: read %d / nominal %d (%.0f%%)", read, nominal, 100*float64(read)/float64(nominal))
+}

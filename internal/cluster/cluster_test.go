@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"testing"
+
+	"paw/internal/blockstore"
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/kdtree"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func setup(t *testing.T) (*Cluster, *layout.Layout, *dataset.Dataset) {
+	t.Helper()
+	data := dataset.Uniform(6000, 2, 1)
+	l := kdtree.Build(data, allRows(6000), data.Domain(), kdtree.Params{MinRows: 300})
+	s := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 128})
+	return New(Defaults(), s, l), l, data
+}
+
+func TestQueryBasics(t *testing.T) {
+	c, l, data := setup(t)
+	q := geom.Box{Lo: geom.Point{0.2, 0.2}, Hi: geom.Point{0.4, 0.4}}
+	r, err := c.Query(q, l.PartitionsFor(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := data.CountInBox(q, nil); r.Rows != want {
+		t.Errorf("rows = %d, want %d", r.Rows, want)
+	}
+	if r.Elapsed <= Defaults().NetworkRTT {
+		t.Errorf("elapsed %v suspiciously small", r.Elapsed)
+	}
+	if r.BytesScanned > r.BytesNominal {
+		t.Errorf("scanned %d above nominal %d", r.BytesScanned, r.BytesNominal)
+	}
+	// Empty partition list: only the network round trip.
+	r, err = c.Query(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Elapsed != Defaults().NetworkRTT || r.Rows != 0 {
+		t.Errorf("empty scan: %+v", r)
+	}
+}
+
+func TestCachingSpeedsUpRepeats(t *testing.T) {
+	data := dataset.Uniform(4000, 2, 2)
+	l := kdtree.Build(data, allRows(4000), data.Domain(), kdtree.Params{MinRows: 500})
+	s := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 128})
+	cfg := Defaults()
+	cfg.CacheBytes = data.TotalBytes() // everything fits
+	c := New(cfg, s, l)
+	q := geom.Box{Lo: geom.Point{0.1, 0.1}, Hi: geom.Point{0.9, 0.9}}
+	ids := l.PartitionsFor(q)
+	cold, err := c.Query(q, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Query(q, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run had %d cache hits", cold.CacheHits)
+	}
+	if warm.CacheHits != len(ids) {
+		t.Errorf("warm run hit %d of %d partitions", warm.CacheHits, len(ids))
+	}
+	if warm.Elapsed >= cold.Elapsed {
+		t.Errorf("warm %v not faster than cold %v", warm.Elapsed, cold.Elapsed)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	lru := newLRU(100)
+	if lru.touch(1, 60) {
+		t.Error("first touch must miss")
+	}
+	if lru.touch(2, 60) { // evicts 1
+		t.Error("second insert must miss")
+	}
+	if lru.touch(1, 60) {
+		t.Error("1 must have been evicted")
+	}
+	if !lru.touch(1, 60) {
+		t.Error("1 must now hit")
+	}
+	// Oversized object is never cached.
+	if lru.touch(3, 200) {
+		t.Error("oversized object must miss")
+	}
+	if lru.touch(3, 200) {
+		t.Error("oversized object must keep missing")
+	}
+	// LRU order: touch 1 (hit), insert 4 small, then 1 stays.
+	lru2 := newLRU(100)
+	lru2.touch(10, 50)
+	lru2.touch(11, 50)
+	lru2.touch(10, 50) // 10 now most recent
+	lru2.touch(12, 50) // evicts 11
+	if !lru2.touch(10, 50) {
+		t.Error("10 must survive (was most recent)")
+	}
+	if lru2.touch(11, 50) {
+		t.Error("11 must have been evicted")
+	}
+}
+
+func TestMoreWorkersFaster(t *testing.T) {
+	data := dataset.Uniform(8000, 2, 3)
+	l := kdtree.Build(data, allRows(8000), data.Domain(), kdtree.Params{MinRows: 250})
+	s := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 128})
+	q := data.Domain() // scan everything
+	cfg1 := Defaults()
+	cfg1.Workers = 1
+	cfg1.CacheBytes = 0
+	cfg8 := cfg1
+	cfg8.Workers = 8
+	t1, err := New(cfg1, s, l).Query(q, l.PartitionsFor(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := New(cfg8, s, l).Query(q, l.PartitionsFor(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.Elapsed >= t1.Elapsed {
+		t.Errorf("8 workers (%v) not faster than 1 (%v)", t8.Elapsed, t1.Elapsed)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	c, l, data := setup(t)
+	w := workload.Uniform(data.Domain(), workload.Defaults(20, 4))
+	avg, err := c.RunWorkload(w.Boxes(), func(q geom.Box) []layout.ID { return l.PartitionsFor(q) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Elapsed <= 0 || avg.BytesNominal <= 0 {
+		t.Errorf("averages look wrong: %+v", avg)
+	}
+	empty, err := c.RunWorkload(nil, nil)
+	if err != nil || empty.Elapsed != 0 {
+		t.Errorf("empty workload: %+v, %v", empty, err)
+	}
+}
+
+// TestSubLinearEndToEnd reproduces the Fig. 15 observation: when the nominal
+// I/O cost is extremely high, end-to-end time grows sub-linearly thanks to
+// row-group pruning and caching.
+func TestSubLinearEndToEnd(t *testing.T) {
+	data := dataset.Uniform(8000, 2, 5)
+	l := kdtree.Build(data, allRows(8000), data.Domain(), kdtree.Params{MinRows: 500})
+	s := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 64})
+	cfg := Defaults()
+	cfg.CacheBytes = data.TotalBytes() / 2
+	c := New(cfg, s, l)
+
+	small := geom.Box{Lo: geom.Point{0.4, 0.4}, Hi: geom.Point{0.45, 0.45}}
+	huge := data.Domain()
+	rs, err := c.Query(small, l.PartitionsFor(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := c.Query(huge, l.PartitionsFor(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ioRatio := float64(rh.BytesNominal) / float64(rs.BytesNominal)
+	timeRatio := float64(rh.Elapsed) / float64(rs.Elapsed)
+	if timeRatio >= ioRatio {
+		t.Errorf("time ratio %.1f not sub-linear vs I/O ratio %.1f", timeRatio, ioRatio)
+	}
+}
+
+func TestWorkerNormalization(t *testing.T) {
+	data := dataset.Uniform(500, 2, 6)
+	l := kdtree.Build(data, allRows(500), data.Domain(), kdtree.Params{MinRows: 100})
+	s := blockstore.Materialize(l, data, blockstore.Config{})
+	c := New(Config{Workers: 0}, s, l) // normalised to 1
+	if _, err := c.Query(data.Domain(), l.PartitionsFor(data.Domain())); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package colstore
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+)
+
+func TestGroupAccessors(t *testing.T) {
+	data := dataset.Uniform(1000, 3, 20)
+	tab := FromDataset(data, nil, 250) // 4 groups
+	if tab.NumGroups() != 4 {
+		t.Fatalf("groups = %d", tab.NumGroups())
+	}
+	var totalRows int
+	var totalBytes int64
+	for g := 0; g < tab.NumGroups(); g++ {
+		rows := tab.GroupRows(g)
+		totalRows += rows
+		totalBytes += tab.GroupBytes(g)
+		if tab.GroupBytes(g) != int64(rows)*3*dataset.BytesPerAttribute {
+			t.Errorf("group %d bytes = %d for %d rows", g, tab.GroupBytes(g), rows)
+		}
+		st := tab.GroupStats(g)
+		if st.Count != int64(rows) {
+			t.Errorf("group %d stats count %d vs rows %d", g, st.Count, rows)
+		}
+		pts := tab.GroupPoints(g)
+		if len(pts) != rows {
+			t.Fatalf("group %d materialised %d of %d points", g, len(pts), rows)
+		}
+		// Every materialised point lies inside the group's SMA envelope.
+		env := st.MBR()
+		for _, p := range pts {
+			if !env.Contains(p) {
+				t.Fatalf("group %d point %v escapes envelope %v", g, p, env)
+			}
+		}
+	}
+	if totalRows != 1000 {
+		t.Errorf("groups cover %d rows", totalRows)
+	}
+	if totalBytes != tab.Bytes() {
+		t.Errorf("group bytes sum %d vs table %d", totalBytes, tab.Bytes())
+	}
+}
+
+func TestGroupPointsMatchSource(t *testing.T) {
+	data := dataset.Uniform(100, 2, 21)
+	tab := FromDataset(data, nil, 30)
+	// Concatenated group points reproduce the source rows in order.
+	i := 0
+	for g := 0; g < tab.NumGroups(); g++ {
+		for _, p := range tab.GroupPoints(g) {
+			if p[0] != data.At(i, 0) || p[1] != data.At(i, 1) {
+				t.Fatalf("row %d mismatch: %v vs (%v,%v)", i, p, data.At(i, 0), data.At(i, 1))
+			}
+			i++
+		}
+	}
+	if i != 100 {
+		t.Errorf("iterated %d rows", i)
+	}
+}
+
+// failWriter errors after n bytes, driving Encode's error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errFail
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errFail
+	}
+	return n, nil
+}
+
+type failErr struct{}
+
+func (failErr) Error() string { return "simulated write failure" }
+
+var errFail = failErr{}
+
+func TestEncodeWriteFailures(t *testing.T) {
+	data := dataset.Uniform(200, 2, 22)
+	tab := FromDataset(data, nil, 50)
+	// Failing at a spread of offsets exercises every Encode stage. bufio
+	// may defer the error to Flush, but Encode must always surface it.
+	for _, cut := range []int{0, 3, 6, 10, 20, 100, 1000, 3000} {
+		if err := tab.Encode(&failWriter{left: cut}); err == nil {
+			t.Errorf("Encode with %d-byte budget must fail", cut)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"sort"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/qdtree"
+	"paw/internal/workload"
+)
+
+// BuildBeam is the beam-search variant of PAW-Construction that the paper
+// sketches as future work in §IV-D: instead of committing greedily to the
+// locally cheapest split, it maintains Width candidate partial layouts and
+// expands each frontier node with the Branch cheapest alternatives
+// (Multi-Group Split, the top axis-parallel cuts, and "stop splitting"),
+// keeping the Width globally cheapest states. Width = 1 with Branch = 1
+// degenerates to the greedy Algorithm 3 (modulo tie-breaking).
+//
+// The search cost grows roughly linearly in Width·Branch, so the variant is
+// intended for offline construction where layout quality matters more than
+// build time. See the ablation_beam experiment for the measured trade-off.
+type BeamParams struct {
+	Params
+	// Width is the beam width (number of partial layouts kept). Minimum 1.
+	Width int
+	// Branch is the number of split alternatives expanded per node
+	// (Multi-Group Split counts as one when admissible). Minimum 1.
+	Branch int
+}
+
+// BuildBeam constructs a PAW layout by beam search. The returned layout is
+// sealed but not routed.
+func BuildBeam(data *dataset.Dataset, rows []int, domain geom.Box, hist workload.Workload, p BeamParams) *layout.Layout {
+	p.Params = p.Params.withDefaults()
+	if p.Width < 1 {
+		p.Width = 1
+	}
+	if p.Branch < 1 {
+		p.Branch = 1
+	}
+	ext := hist.Extend(p.Delta)
+	queries := clipBoxes(ext.Boxes(), domain)
+	b := &builder{data: data, p: p.Params}
+
+	root := &beamNode{box: domain, rows: rows, queries: queries}
+	best := toLayoutNode(b, searchBeam(b, root, p))
+	// Beam pruning can discard a trajectory whose payoff comes late, so the
+	// beam result alone is not guaranteed to beat greedy Algorithm 3. Build
+	// both and keep the cheaper layout under the construction cost model —
+	// beam search then never loses quality, only build time.
+	greedy := b.construct(domain, rows, queries)
+	if treeCost(greedy, queries) < treeCost(best, queries) {
+		best = greedy
+	}
+	return layout.Seal("paw-beam", best, data.RowBytes())
+}
+
+// treeCost evaluates Cost(P, Q*F) of a constructed tree in sample rows.
+func treeCost(root *layout.Node, queries []geom.Box) int64 {
+	var total int64
+	for _, leaf := range root.Leaves() {
+		n := int64(len(leaf.Part.SampleRows))
+		for _, q := range queries {
+			if leaf.Desc.Intersects(q) {
+				total += n
+			}
+		}
+	}
+	return total
+}
+
+// beamNode is a node of a candidate partition tree under construction.
+type beamNode struct {
+	box     geom.Box
+	rows    []int
+	queries []geom.Box
+
+	// closed marks a finalised leaf. irregular carries the descriptor for
+	// irregular leaves.
+	closed    bool
+	irregular *layout.Irregular
+	children  []*beamNode
+}
+
+// cost returns the node's contribution to the layout cost while it is a
+// leaf: every intersecting query scans all its rows (irregular leaves
+// intersect none of their queries by construction).
+func (n *beamNode) cost() int64 {
+	if n.irregular != nil {
+		return 0
+	}
+	return int64(len(n.queries)) * int64(len(n.rows))
+}
+
+// state is one partial layout in the beam.
+type state struct {
+	// open nodes still eligible for splitting, in discovery order.
+	open []*beamNode
+	// total is the current layout cost: Σ cost over open and closed leaves.
+	total int64
+	// root of this state's (copy-on-write) tree.
+	root *beamNode
+}
+
+// searchBeam runs the beam search and returns the best final tree root.
+func searchBeam(b *builder, root *beamNode, p BeamParams) *beamNode {
+	init := &state{root: root, total: root.cost()}
+	if splittable(b, root) {
+		init.open = []*beamNode{root}
+	} else {
+		root.closed = true
+	}
+	beam := []*state{init}
+	var finished []*state
+	for len(beam) > 0 {
+		var successors []*state
+		for _, st := range beam {
+			if len(st.open) == 0 {
+				finished = append(finished, st)
+				continue
+			}
+			successors = append(successors, expand(b, st, p)...)
+		}
+		if len(successors) == 0 {
+			break
+		}
+		sort.Slice(successors, func(i, j int) bool { return successors[i].total < successors[j].total })
+		if len(successors) > p.Width {
+			successors = successors[:p.Width]
+		}
+		beam = successors
+	}
+	bestState := finished[0]
+	for _, st := range finished[1:] {
+		if st.total < bestState.total {
+			bestState = st
+		}
+	}
+	return bestState.root
+}
+
+// splittable mirrors the Ψ policy gate: the node is worth keeping open.
+func splittable(b *builder, n *beamNode) bool {
+	return len(n.queries) > 0 && len(n.rows) >= 2*b.p.MinRows
+}
+
+// expand pops the first open node of st and emits one successor per split
+// alternative plus one that closes the node.
+func expand(b *builder, st *state, p BeamParams) []*state {
+	node := st.open[0]
+	rest := st.open[1:]
+	var out []*state
+
+	// Alternative 0: close the node as-is.
+	closed := cloneState(st, rest)
+	out = append(out, closed)
+
+	// Multi-Group Split, when the policy admits it.
+	if !b.p.DisableMultiGroup && float64(len(node.rows)) >= b.p.Alpha*float64(b.p.MinRows) {
+		if r := b.multiGroupSplit(node.box, node.rows, node.queries); r != nil {
+			out = append(out, applySplit(b, st, rest, node, r))
+		}
+	}
+	// Top axis-parallel cuts.
+	cuts := qdtree.TopCuts(b.data, node.box, node.rows, node.queries, b.medianCuts(node.box, node.rows), b.p.MinRows, p.Branch)
+	for _, cc := range cuts {
+		left, right := qdtree.SplitRows(b.data, node.rows, cc.Cut)
+		lbox, rbox := cc.Cut.Apply(node.box)
+		r := &splitResult{pieces: []piece{
+			{desc: layout.NewRect(lbox), box: lbox, rows: left},
+			{desc: layout.NewRect(rbox), box: rbox, rows: right},
+		}}
+		out = append(out, applySplit(b, st, rest, node, r))
+	}
+	return out
+}
+
+// cloneState closes the popped node in a successor that shares the tree
+// (closing mutates nothing that other states observe: the node's children
+// stay empty, and open-lists are per-state).
+func cloneState(st *state, rest []*beamNode) *state {
+	return &state{open: rest, total: st.total, root: st.root}
+}
+
+// applySplit materialises a split of node into a successor state.
+//
+// Tree sharing: beam states share ancestor nodes, and a node split in one
+// state may be closed in another. To keep states independent, the split is
+// recorded in a fresh child list on a *copy* of the node; the copy replaces
+// the original in the successor's tree by path-copying from the root.
+func applySplit(b *builder, st *state, rest []*beamNode, node *beamNode, r *splitResult) *state {
+	newNode := &beamNode{box: node.box, rows: node.rows, queries: node.queries}
+	var opened []*beamNode
+	var childCost int64
+	for _, pc := range r.pieces {
+		child := &beamNode{box: pc.box, rows: pc.rows}
+		if pc.irregular {
+			ir := pc.desc.(layout.Irregular)
+			child.irregular = &ir
+			child.closed = true
+		} else {
+			child.queries = clipBoxes(node.queries, pc.box)
+			if splittable(b, child) {
+				opened = append(opened, child)
+			} else {
+				child.closed = true
+			}
+		}
+		childCost += child.cost()
+		newNode.children = append(newNode.children, child)
+	}
+	root, ok := replaceNode(st.root, node, newNode)
+	if !ok {
+		// node must be reachable; replaceNode only fails on logic errors.
+		panic("core: beam state lost track of its open node")
+	}
+	openList := make([]*beamNode, 0, len(rest)+len(opened))
+	// Rewrite stale pointers in the remaining open list: path copying may
+	// have cloned ancestors, but open nodes themselves are never cloned
+	// (only the split node is), so the rest list stays valid.
+	openList = append(openList, rest...)
+	openList = append(openList, opened...)
+	return &state{
+		open:  openList,
+		total: st.total - node.cost() + childCost,
+		root:  root,
+	}
+}
+
+// replaceNode returns a tree equal to cur with target replaced by repl,
+// path-copying the ancestors of target so sibling states are unaffected.
+func replaceNode(cur, target, repl *beamNode) (*beamNode, bool) {
+	if cur == target {
+		return repl, true
+	}
+	for i, c := range cur.children {
+		if newChild, ok := replaceNode(c, target, repl); ok {
+			cp := *cur
+			cp.children = append([]*beamNode(nil), cur.children...)
+			cp.children[i] = newChild
+			return &cp, true
+		}
+	}
+	return nil, false
+}
+
+// toLayoutNode converts the final beam tree into a layout tree.
+func toLayoutNode(b *builder, n *beamNode) *layout.Node {
+	if len(n.children) == 0 {
+		if n.irregular != nil {
+			return &layout.Node{Desc: *n.irregular, Part: &layout.Partition{Desc: *n.irregular, SampleRows: n.rows}}
+		}
+		d := layout.NewRect(n.box)
+		return &layout.Node{Desc: d, Part: &layout.Partition{Desc: d, SampleRows: n.rows}}
+	}
+	out := &layout.Node{Desc: layout.NewRect(n.box)}
+	for _, c := range n.children {
+		out.Children = append(out.Children, toLayoutNode(b, c))
+	}
+	return out
+}

@@ -1,0 +1,452 @@
+// Package core implements PAW — Partitioning Aware of Workload variance —
+// the paper's primary contribution. Construction proceeds per §IV:
+//
+//  1. The historical workload QH is generalised to the worst-case workload
+//     Q*F by extending every query by δ in all directions (§IV-A; Lemma 1
+//     proves optimising against Q*F optimises the worst case over all
+//     δ-similar future workloads).
+//  2. PAW-Construction (Alg. 3) recursively splits partitions, choosing at
+//     every step the split function allowed by the policy Ψ (Eq. 4) that
+//     minimises Cost(P', Q*F(Po)):
+//     — Multi-Group Split (Alg. 1) groups mutually intersecting queries,
+//     carves one grouped rectangular partition (GP) per group — expanded
+//     to reach the minimum size bmin (Fig. 8) — and collects the leftover
+//     records in a single irregular-shaped partition (IP);
+//     — Axis-Parallel Split (Alg. 2) splits at query boundaries (the
+//     Qd-tree candidate cuts) or at the median of each dimension.
+//  3. Optionally (§IV-E), query-free leaves are refined data-aware, k-d
+//     style, down to the finest size [bmin, 2bmin), so that PAW degrades
+//     gracefully to k-d tree behaviour on fully unpredictable workloads.
+package core
+
+import (
+	"sort"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/kdtree"
+	"paw/internal/layout"
+	"paw/internal/qdtree"
+	"paw/internal/workload"
+)
+
+// Params configures PAW construction.
+type Params struct {
+	// MinRows is bmin expressed in sample rows.
+	MinRows int
+	// Alpha is the Ψ-policy constant α (Eq. 4): Multi-Group Split is
+	// attempted only on partitions holding at least Alpha·MinRows rows.
+	// Must be > 1; defaults to 8.
+	Alpha float64
+	// Delta is the workload-variance threshold δ in absolute units of the
+	// query space. Queries are extended by Delta on every side to form Q*F.
+	// Zero reproduces the paper's §VI-G special case (exact workload).
+	Delta float64
+	// DataAwareRefine enables the §IV-E optimisation: leaves that intersect
+	// no extended query are k-d split to the finest size so partially
+	// intersecting future queries do not scan huge blocks.
+	DataAwareRefine bool
+	// DisableMultiGroup turns Multi-Group Split off (rectangles only).
+	// Used by the ablation study; the default (false) is full PAW.
+	DisableMultiGroup bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinRows < 1 {
+		p.MinRows = 1
+	}
+	if p.Alpha <= 1 {
+		p.Alpha = 8
+	}
+	return p
+}
+
+// Build constructs a PAW layout for the historical workload hist over the
+// given sample rows of data. domain must cover the sample rows (typically
+// the dataset MBR). The returned layout is sealed but not routed.
+func Build(data *dataset.Dataset, rows []int, domain geom.Box, hist workload.Workload, p Params) *layout.Layout {
+	p = p.withDefaults()
+	ext := hist.Extend(p.Delta)
+	// Clip the worst-case workload to the domain: the parts of extended
+	// queries outside the data space contain no records and would only
+	// distort group MBRs.
+	queries := clipBoxes(ext.Boxes(), domain)
+	b := &builder{data: data, p: p}
+	root := b.construct(domain, rows, queries)
+	return layout.Seal("paw", root, data.RowBytes())
+}
+
+type builder struct {
+	data *dataset.Dataset
+	p    Params
+}
+
+// construct is PAW-Construction (Alg. 3). queries are the extended queries
+// clipped to box; rows are the sample rows inside box.
+func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box) *layout.Node {
+	if len(queries) == 0 {
+		return b.queryFreeLeaf(box, rows)
+	}
+	size := len(rows)
+	tryMulti := !b.p.DisableMultiGroup && float64(size) >= b.p.Alpha*float64(b.p.MinRows)
+	tryAxis := size >= 2*b.p.MinRows
+	if !tryAxis {
+		// Ψ(Po) = ∅: below 2·bmin nothing can be split.
+		return leaf(box, rows)
+	}
+
+	curCost := int64(len(queries)) * int64(size)
+	var best *splitResult
+	if tryMulti {
+		if r := b.multiGroupSplit(box, rows, queries); r != nil && r.cost < curCost {
+			best = r
+		}
+	}
+	if r := b.axisSplit(box, rows, queries); r != nil && r.cost < curCost {
+		if best == nil || r.cost < best.cost {
+			best = r
+		}
+	}
+	if best == nil {
+		return leaf(box, rows)
+	}
+
+	node := &layout.Node{Desc: layout.NewRect(box)}
+	for _, pc := range best.pieces {
+		if pc.irregular {
+			// Irregular partitions terminate: they intersect no query in
+			// Q*F(Po), so their cost is already 0 (§IV-D).
+			node.Children = append(node.Children, b.irregularLeaf(pc))
+		} else {
+			node.Children = append(node.Children, b.construct(pc.box, pc.rows, clipBoxes(queries, pc.box)))
+		}
+	}
+	return node
+}
+
+// piece is one candidate partition produced by a split function.
+type piece struct {
+	desc      layout.Descriptor
+	box       geom.Box // recursion box for rectangular pieces
+	rows      []int
+	irregular bool
+}
+
+type splitResult struct {
+	pieces []piece
+	cost   int64
+}
+
+func (r *splitResult) computeCost(queries []geom.Box) {
+	var total int64
+	for _, q := range queries {
+		for _, pc := range r.pieces {
+			if pc.desc.Intersects(q) {
+				total += int64(len(pc.rows))
+			}
+		}
+	}
+	r.cost = total
+}
+
+// multiGroupSplit is Algorithm 1. It returns nil on a failed split: grouped
+// partitions overlap after expansion, or the irregular remainder is below
+// bmin.
+func (b *builder) multiGroupSplit(box geom.Box, rows []int, queries []geom.Box) *splitResult {
+	groups := groupIntersecting(queries)
+	if len(groups) == 0 {
+		return nil
+	}
+	// Build one grouped partition per group, expanding to bmin (Fig. 8).
+	gpBoxes := make([]geom.Box, 0, len(groups))
+	for _, g := range groups {
+		member := make([]geom.Box, len(g))
+		for i, qi := range g {
+			member[i] = queries[qi]
+		}
+		gp := geom.MBR(member...)
+		gp, ok := b.expandToMin(box, rows, gp)
+		if !ok {
+			return nil
+		}
+		gpBoxes = append(gpBoxes, gp)
+	}
+	// Grouped partitions must be mutually disjoint (Alg. 1 line 7). Shared
+	// boundary planes are tolerated — routing resolves record ownership —
+	// but interior overlap fails the split.
+	for i := range gpBoxes {
+		for j := i + 1; j < len(gpBoxes); j++ {
+			if inter, ok := gpBoxes[i].Intersection(gpBoxes[j]); ok && inter.Volume() > 0 {
+				return nil
+			}
+		}
+	}
+	// Assign rows: first matching GP wins; the rest go to the irregular
+	// partition.
+	gpRows := make([][]int, len(gpBoxes))
+	var ipRows []int
+	pt := make(geom.Point, b.data.Dims())
+assign:
+	for _, r := range rows {
+		for d := range pt {
+			pt[d] = b.data.At(r, d)
+		}
+		for gi, gb := range gpBoxes {
+			if gb.Contains(pt) {
+				gpRows[gi] = append(gpRows[gi], r)
+				continue assign
+			}
+		}
+		ipRows = append(ipRows, r)
+	}
+	// Size constraints: every GP and the IP must reach bmin.
+	for _, g := range gpRows {
+		if len(g) < b.p.MinRows {
+			return nil
+		}
+	}
+	if len(ipRows) < b.p.MinRows {
+		return nil
+	}
+	ipDesc := layout.NewIrregular(box, gpBoxes)
+	res := &splitResult{}
+	for gi, gb := range gpBoxes {
+		res.pieces = append(res.pieces, piece{desc: layout.NewRect(gb), box: gb, rows: gpRows[gi]})
+	}
+	res.pieces = append(res.pieces, piece{desc: ipDesc, rows: ipRows, irregular: true})
+	res.computeCost(queries)
+	return res
+}
+
+// expandToMin grows gp about its center until it holds at least MinRows of
+// the parent's rows (Fig. 8): records are ranked by their relative position
+// F_GP(x) and the expansion factor is the MinRows-th smallest rank. Returns
+// false when even the whole parent cannot supply MinRows rows.
+func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box) (geom.Box, bool) {
+	gp = gp.Clip(box)
+	inside := 0
+	pt := make(geom.Point, b.data.Dims())
+	for _, r := range rows {
+		for d := range pt {
+			pt[d] = b.data.At(r, d)
+		}
+		if gp.Contains(pt) {
+			inside++
+		}
+	}
+	if inside >= b.p.MinRows {
+		return gp, true
+	}
+	if len(rows) < b.p.MinRows {
+		return gp, false
+	}
+	// Degenerate dimensions (zero radius) can never grow by scaling; give
+	// them a hair of radius relative to the parent's extent so the ranking
+	// remains finite.
+	c := gp.Center()
+	rad := gp.Radius()
+	for d := range rad {
+		if rad[d] == 0 {
+			ext := box.Hi[d] - box.Lo[d]
+			if ext == 0 {
+				continue // parent degenerate too: distance 0 for all rows
+			}
+			rad[d] = 1e-9 * ext
+		}
+	}
+	fs := make([]float64, len(rows))
+	for i, r := range rows {
+		f := 0.0
+		for d := range c {
+			num := b.data.At(r, d) - c[d]
+			if num < 0 {
+				num = -num
+			}
+			if rad[d] > 0 {
+				if q := num / rad[d]; q > f {
+					f = q
+				}
+			} else if num > 0 {
+				f = 1e308
+			}
+		}
+		fs[i] = f
+	}
+	sort.Float64s(fs)
+	factor := fs[b.p.MinRows-1]
+	if factor < 1 {
+		factor = 1
+	}
+	if factor >= 1e308 {
+		return gp, false
+	}
+	grown := geom.Box{Lo: make(geom.Point, len(c)), Hi: make(geom.Point, len(c))}
+	for d := range c {
+		grown.Lo[d] = c[d] - factor*rad[d]
+		grown.Hi[d] = c[d] + factor*rad[d]
+	}
+	return grown.Clip(box), true
+}
+
+// axisSplit is Algorithm 2: the best axis-parallel split among the median
+// of every dimension and the query-boundary cuts of the Qd-tree.
+func (b *builder) axisSplit(box geom.Box, rows []int, queries []geom.Box) *splitResult {
+	cut, cost, ok := qdtree.BestCut(b.data, box, rows, queries, b.medianCuts(box, rows), b.p.MinRows)
+	if !ok {
+		return nil
+	}
+	left, right := qdtree.SplitRows(b.data, rows, cut)
+	lbox, rbox := cut.Apply(box)
+	return &splitResult{
+		cost: cost,
+		pieces: []piece{
+			{desc: layout.NewRect(lbox), box: lbox, rows: left},
+			{desc: layout.NewRect(rbox), box: rbox, rows: right},
+		},
+	}
+}
+
+// medianCuts returns one cut per dimension at the median of the rows.
+func (b *builder) medianCuts(box geom.Box, rows []int) []qdtree.Cut {
+	var out []qdtree.Cut
+	vals := make([]float64, len(rows))
+	for dim := 0; dim < b.data.Dims(); dim++ {
+		for i, r := range rows {
+			vals[i] = b.data.At(r, dim)
+		}
+		sort.Float64s(vals)
+		m := vals[len(vals)/2]
+		if m == vals[0] && m == vals[len(vals)-1] {
+			continue
+		}
+		c := qdtree.CutAtUpper(dim, m)
+		if c.Inside(box) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// queryFreeLeaf finalises a partition no extended query intersects. With
+// DataAwareRefine on, it is k-d split to the finest size (§IV-E).
+func (b *builder) queryFreeLeaf(box geom.Box, rows []int) *layout.Node {
+	if b.p.DataAwareRefine && len(rows) >= 2*b.p.MinRows {
+		return kdtree.RefineLeaf(b.data, box, rows, b.p.MinRows, 0)
+	}
+	return leaf(box, rows)
+}
+
+// irregularLeaf finalises an irregular piece. With DataAwareRefine on, the
+// irregular region is cut data-aware into cells: the outer box is k-d split
+// and every cell keeps the irregular semantics (cell minus the holes inside
+// it), so partially intersecting unpredictable queries scan one small cell
+// instead of the entire remainder.
+func (b *builder) irregularLeaf(pc piece) *layout.Node {
+	ir := pc.desc.(layout.Irregular)
+	if !b.p.DataAwareRefine || len(pc.rows) < 2*b.p.MinRows {
+		return &layout.Node{Desc: pc.desc, Part: &layout.Partition{Desc: pc.desc, SampleRows: pc.rows}}
+	}
+	return b.refineIrregular(ir.Outer, ir.Holes, pc.rows, 0)
+}
+
+func (b *builder) refineIrregular(outer geom.Box, holes []geom.Box, rows []int, depth int) *layout.Node {
+	desc := layout.NewIrregular(outer, holes)
+	if len(rows) < 2*b.p.MinRows {
+		return &layout.Node{Desc: desc, Part: &layout.Partition{Desc: desc, SampleRows: rows}}
+	}
+	dims := b.data.Dims()
+	vals := make([]float64, len(rows))
+	for off := 0; off < dims; off++ {
+		dim := (depth + off) % dims
+		for i, r := range rows {
+			vals[i] = b.data.At(r, dim)
+		}
+		sort.Float64s(vals)
+		m := vals[len(vals)/2]
+		if m == vals[0] && m == vals[len(vals)-1] {
+			continue
+		}
+		if m == vals[len(vals)-1] {
+			i := sort.SearchFloat64s(vals, m) - 1
+			if i < 0 {
+				continue
+			}
+			m = vals[i]
+		}
+		cut := qdtree.CutAtUpper(dim, m)
+		if !cut.Inside(outer) {
+			continue
+		}
+		left, right := qdtree.SplitRows(b.data, rows, cut)
+		if len(left) < b.p.MinRows || len(right) < b.p.MinRows {
+			continue
+		}
+		lbox, rbox := cut.Apply(outer)
+		return &layout.Node{
+			Desc: desc,
+			Children: []*layout.Node{
+				b.refineIrregular(lbox, clipBoxes(holes, lbox), left, depth+1),
+				b.refineIrregular(rbox, clipBoxes(holes, rbox), right, depth+1),
+			},
+		}
+	}
+	return &layout.Node{Desc: desc, Part: &layout.Partition{Desc: desc, SampleRows: rows}}
+}
+
+// groupIntersecting unions queries into groups of transitively intersecting
+// queries (union–find), returning index groups.
+func groupIntersecting(queries []geom.Box) [][]int {
+	parent := make([]int, len(queries))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := range queries {
+		for j := i + 1; j < len(queries); j++ {
+			if queries[i].Intersects(queries[j]) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i := range queries {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	// Deterministic order: by smallest member index.
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, byRoot[r][0])
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(byRoot))
+	for _, first := range roots {
+		out = append(out, byRoot[find(first)])
+	}
+	return out
+}
+
+func clipBoxes(queries []geom.Box, box geom.Box) []geom.Box {
+	var out []geom.Box
+	for _, q := range queries {
+		if inter, ok := q.Intersection(box); ok {
+			out = append(out, inter)
+		}
+	}
+	return out
+}
+
+func leaf(box geom.Box, rows []int) *layout.Node {
+	d := layout.NewRect(box)
+	return &layout.Node{Desc: d, Part: &layout.Partition{Desc: d, SampleRows: rows}}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/workload"
+)
+
+// DefaultAlphaCandidates is the grid TunePolicy searches.
+var DefaultAlphaCandidates = []float64{2, 4, 8, 16, 32, 64}
+
+// TunePolicy selects the Ψ-policy constant α automatically, addressing the
+// paper's third future-work question ("when more split functions are
+// considered, how to automatically determine their apply conditions?", §VII)
+// for the one split-function condition PAW already has.
+//
+// The procedure is holdout validation in the spirit of §IV-E: the historical
+// workload is split into halves by timestamp; for every candidate α a layout
+// is built against the older half's worst-case workload and scored on the
+// newer half's extension (queries the builder never saw). The cheapest α
+// wins; ties go to the larger α because Multi-Group Split is the expensive
+// split (Eq. 4's rationale).
+func TunePolicy(data *dataset.Dataset, rows []int, domain geom.Box, hist workload.Workload, p Params, candidates []float64) (float64, error) {
+	p = p.withDefaults()
+	if len(candidates) == 0 {
+		candidates = DefaultAlphaCandidates
+	}
+	if len(hist) < 4 {
+		return 0, fmt.Errorf("core: need at least 4 historical queries to tune α, have %d", len(hist))
+	}
+	train, valid := hist.SplitHalves()
+	validQ := clipBoxes(valid.Extend(p.Delta).Boxes(), domain)
+
+	bestAlpha := candidates[0]
+	var bestCost int64 = -1
+	for _, alpha := range candidates {
+		params := p
+		params.Alpha = alpha
+		b := &builder{data: data, p: params}
+		root := b.construct(domain, rows, clipBoxes(train.Extend(p.Delta).Boxes(), domain))
+		cost := treeCost(root, validQ)
+		if bestCost < 0 || cost < bestCost || (cost == bestCost && alpha > bestAlpha) {
+			bestCost = cost
+			bestAlpha = alpha
+		}
+	}
+	return bestAlpha, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/workload"
+)
+
+func TestTunePolicyReturnsCandidate(t *testing.T) {
+	data := dataset.Uniform(4000, 2, 71)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(30, 72))
+	alpha, err := TunePolicy(data, allRows(4000), dom, hist, Params{MinRows: 50, Delta: 0.01}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range DefaultAlphaCandidates {
+		if alpha == c {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("tuned α = %v not among the candidates", alpha)
+	}
+}
+
+func TestTunePolicyCustomGrid(t *testing.T) {
+	data := dataset.Uniform(3000, 2, 73)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(20, 74))
+	alpha, err := TunePolicy(data, allRows(3000), dom, hist, Params{MinRows: 50, Delta: 0.01}, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 3 && alpha != 5 {
+		t.Errorf("tuned α = %v, want 3 or 5", alpha)
+	}
+}
+
+func TestTunePolicyTooFewQueries(t *testing.T) {
+	data := dataset.Uniform(1000, 2, 75)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(3, 76))
+	if _, err := TunePolicy(data, allRows(1000), dom, hist, Params{MinRows: 50}, nil); err == nil {
+		t.Error("3 queries must be rejected")
+	}
+}
+
+// TestTunePolicyValidationBeatsWorst: the tuned α's validation cost must be
+// at least as good as the worst candidate's (i.e., tuning actually compared
+// something — a smoke test that the holdout machinery is wired correctly).
+func TestTunePolicyValidationBeatsWorst(t *testing.T) {
+	data := dataset.Uniform(5000, 2, 77)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(40, 78))
+	p := Params{MinRows: 40, Delta: 0.01}
+	tuned, err := TunePolicy(data, allRows(5000), dom, hist, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid := hist.SplitHalves()
+	validQ := clipBoxes(valid.Extend(p.Delta).Boxes(), dom)
+	cost := func(alpha float64) int64 {
+		params := p.withDefaults()
+		params.Alpha = alpha
+		b := &builder{data: data, p: params}
+		return treeCost(b.construct(dom, allRows(5000), clipBoxes(train.Extend(p.Delta).Boxes(), dom)), validQ)
+	}
+	tunedCost := cost(tuned)
+	for _, c := range DefaultAlphaCandidates {
+		if cost(c) < tunedCost {
+			t.Errorf("candidate α=%v beats tuned α=%v on validation", c, tuned)
+		}
+	}
+}

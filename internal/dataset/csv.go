@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the dataset with a header row of column names. Values are
+// rendered with full float64 round-trip precision.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.names); err != nil {
+		return err
+	}
+	rec := make([]string, d.Dims())
+	for i := 0; i < d.rows; i++ {
+		for dim := range rec {
+			rec[dim] = strconv.FormatFloat(d.cols[dim][i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV imports a dataset from CSV with a header row; every non-header
+// field must parse as a float64. Real deployments load their tables this
+// way before partitioning them.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	copy(names, header)
+	cols := make([][]float64, len(names))
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", row+1, err)
+		}
+		for dim, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %q: %w", row+1, names[dim], err)
+			}
+			cols[dim] = append(cols[dim], v)
+		}
+		row++
+	}
+	if row == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+	return New(names, cols)
+}

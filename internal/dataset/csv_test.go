@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := TPCHLike(300, 31)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != d.NumRows() || got.Dims() != d.Dims() {
+		t.Fatalf("shape: %dx%d vs %dx%d", got.NumRows(), got.Dims(), d.NumRows(), d.Dims())
+	}
+	for i, n := range d.Names() {
+		if got.Names()[i] != n {
+			t.Errorf("name %d = %q", i, got.Names()[i])
+		}
+	}
+	for i := 0; i < d.NumRows(); i += 17 {
+		for dim := 0; dim < d.Dims(); dim++ {
+			if got.At(i, dim) != d.At(i, dim) {
+				t.Fatalf("value mismatch at %d/%d: %v vs %v", i, dim, got.At(i, dim), d.At(i, dim))
+			}
+		}
+	}
+}
+
+func TestReadCSVHandRolled(t *testing.T) {
+	in := "x,y\n1.5,2\n-3,4e2\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 2 || d.At(1, 1) != 400 || d.At(1, 0) != -3 {
+		t.Errorf("parsed wrong: %v %v", d.At(1, 0), d.At(1, 1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                  // no header
+		"x,y\n",             // no data rows
+		"x,y\n1,notanumber", // bad value
+		"x,y\n1\n",          // ragged row
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q must error", in)
+		}
+	}
+}

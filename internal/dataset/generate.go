@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// TPCHLineitemNames are the 8 numeric (non-key) attributes of the TPC-H
+// lineitem table that the paper's query workloads range over. Date
+// attributes are encoded as day offsets from 1992-01-01, matching the
+// benchmark's 7-year order window.
+var TPCHLineitemNames = []string{
+	"l_quantity",      // 1..50
+	"l_extendedprice", // ~900..104950
+	"l_discount",      // 0.00..0.10
+	"l_tax",           // 0.00..0.08
+	"l_shipdate",      // days 1..2526
+	"l_commitdate",    // days 1..2526
+	"l_receiptdate",   // days 1..2526
+	"l_suppkey",       // 1..100000
+}
+
+// TPCHLike generates a lineitem-like table with the paper's observation that
+// the records are (approximately) uniformly distributed over the attribute
+// domains. rows is the record count; the result always has 8 attributes.
+func TPCHLike(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, len(TPCHLineitemNames))
+	for i := range cols {
+		cols[i] = make([]float64, rows)
+	}
+	for r := 0; r < rows; r++ {
+		qty := float64(1 + rng.Intn(50))
+		// extendedprice = qty * partprice; partprice in [900, 2099).
+		price := qty * (900 + rng.Float64()*1199)
+		cols[0][r] = qty
+		cols[1][r] = price
+		cols[2][r] = math.Round(rng.Float64()*10) / 100 // 0.00..0.10
+		cols[3][r] = math.Round(rng.Float64()*8) / 100  // 0.00..0.08
+		ship := 1 + rng.Float64()*2525
+		cols[4][r] = math.Floor(ship)
+		cols[5][r] = math.Floor(clamp(ship+float64(rng.Intn(61)-30), 1, 2526))
+		cols[6][r] = math.Floor(clamp(ship+float64(1+rng.Intn(30)), 1, 2526))
+		cols[7][r] = float64(1 + rng.Intn(100000))
+	}
+	return MustNew(append([]string(nil), TPCHLineitemNames...), cols)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// OSMLike generates a 2-d point cloud imitating the skew of the
+// OpenStreetMap node extract the paper uses: a Gaussian mixture whose
+// cluster weights follow a power law (dense metropolitan clusters plus a
+// sparse uniform background). Coordinates are (longitude, latitude).
+func OSMLike(rows int, clusters int, seed int64) *Dataset {
+	if clusters < 1 {
+		clusters = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type cluster struct {
+		cx, cy, sx, sy, w float64
+	}
+	cs := make([]cluster, clusters)
+	totalW := 0.0
+	for i := range cs {
+		cs[i] = cluster{
+			cx: -180 + rng.Float64()*360,
+			cy: -85 + rng.Float64()*170,
+			sx: 0.5 + rng.Float64()*4,
+			sy: 0.5 + rng.Float64()*4,
+			// Power-law weights: cluster i is ~ (i+1)^-1.2.
+			w: math.Pow(float64(i+1), -1.2),
+		}
+		totalW += cs[i].w
+	}
+	const background = 0.05 // 5% of points are uniform noise
+	lon := make([]float64, rows)
+	lat := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		if rng.Float64() < background {
+			lon[r] = -180 + rng.Float64()*360
+			lat[r] = -85 + rng.Float64()*170
+			continue
+		}
+		// Pick a cluster by weight.
+		t := rng.Float64() * totalW
+		k := 0
+		for ; k < len(cs)-1; k++ {
+			t -= cs[k].w
+			if t <= 0 {
+				break
+			}
+		}
+		lon[r] = clamp(cs[k].cx+rng.NormFloat64()*cs[k].sx, -180, 180)
+		lat[r] = clamp(cs[k].cy+rng.NormFloat64()*cs[k].sy, -85, 85)
+	}
+	return MustNew([]string{"lon", "lat"}, [][]float64{lon, lat})
+}
+
+// Uniform generates rows records uniformly distributed in [0,1]^dims with
+// generic attribute names a0, a1, ... Used by unit tests and micro-benches.
+func Uniform(rows, dims int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, dims)
+	names := make([]string, dims)
+	for d := range cols {
+		cols[d] = make([]float64, rows)
+		names[d] = "a" + strconv.Itoa(d)
+		for r := 0; r < rows; r++ {
+			cols[d][r] = rng.Float64()
+		}
+	}
+	return MustNew(names, cols)
+}
+
+// Sample draws n distinct rows uniformly at random (without replacement)
+// and returns their indices in ascending order. When n >= NumRows all rows
+// are returned. This reproduces the paper's layout-generation protocol: the
+// logical layout is computed on a fixed-size sample, then the full dataset
+// is routed through it (§VI-A).
+func (d *Dataset) Sample(n int, seed int64) []int {
+	if n >= d.rows {
+		idx := make([]int, d.rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Floyd's algorithm for a uniform n-subset of [0, rows).
+	chosen := make(map[int]struct{}, n)
+	for j := d.rows - n; j < d.rows; j++ {
+		t := rng.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	idx := make([]int, 0, n)
+	for i := range chosen {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}

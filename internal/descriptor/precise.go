@@ -1,0 +1,65 @@
+// Package descriptor implements the precise-descriptor plugin module of
+// §V-A: every partition is additionally described by a small set of Nmbr
+// MBRs that collectively cover its records, extracted with the R-tree (STR)
+// construction algorithm. During query processing the master skips a
+// partition whose precise MBRs all miss the query even when its coarse
+// descriptor intersects it.
+package descriptor
+
+import (
+	"fmt"
+
+	"paw/internal/dataset"
+	"paw/internal/layout"
+	"paw/internal/rtree"
+)
+
+// BytesPerBound is the per-dimension, per-bound footprint of a stored MBR:
+// the paper accounts 16·dmax bytes per MBR (two float64 bounds per
+// dimension).
+const BytesPerBound = 16
+
+// Install builds precise descriptors with nmbr MBRs per partition and
+// attaches them to the layout's partitions. rows are the records used to
+// derive the MBRs — pass all dataset rows for exact descriptors (the paper
+// covers "all records in Pj"), or a sample for cheaper approximate ones
+// (approximate descriptors may lose pruning power but never correctness for
+// the rows they cover; with a sample, rows outside every MBR could be
+// missed, so production use routes the full dataset).
+//
+// It returns the total master-memory overhead in bytes:
+// 16 · dmax · Nmbr per partition.
+func Install(l *layout.Layout, data *dataset.Dataset, rows []int, nmbr int) (int64, error) {
+	if nmbr < 1 {
+		return 0, fmt.Errorf("descriptor: Nmbr must be >= 1, got %d", nmbr)
+	}
+	byPart := l.RouteIndices(data, rows)
+	var mem int64
+	for _, p := range l.Parts {
+		idx := byPart[p.ID]
+		if len(idx) == 0 {
+			p.Precise = nil
+			continue
+		}
+		src := rtree.DatasetSource{Data: data, Rows: idx}
+		p.Precise = rtree.ExtractMBRs(src, len(idx), nmbr)
+		mem += int64(len(p.Precise)) * int64(data.Dims()) * BytesPerBound
+	}
+	return mem, nil
+}
+
+// Uninstall removes all precise descriptors from the layout.
+func Uninstall(l *layout.Layout) {
+	for _, p := range l.Parts {
+		p.Precise = nil
+	}
+}
+
+// AllRows is a convenience helper returning [0, n).
+func AllRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}

@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"paw/internal/layout"
+	"paw/internal/router"
+)
+
+// Master is the networked master node: it owns the routing metadata (via
+// router.Master), knows which worker hosts which partition, and scatters
+// scan work over persistent worker connections.
+type Master struct {
+	router    *router.Master
+	placement map[layout.ID]int // partition -> worker index
+
+	mu       sync.Mutex
+	workers  []*conn
+	addrs    []string
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// NewMaster wires the router with worker addresses and a placement map.
+// Every partition of the layout must be placed on a valid worker.
+func NewMaster(r *router.Master, workerAddrs []string, placement map[layout.ID]int) (*Master, error) {
+	for id, w := range placement {
+		if w < 0 || w >= len(workerAddrs) {
+			return nil, fmt.Errorf("dist: partition %d placed on invalid worker %d", id, w)
+		}
+	}
+	for _, p := range r.Layout().Parts {
+		if _, ok := placement[p.ID]; !ok {
+			return nil, fmt.Errorf("dist: partition %d has no placement", p.ID)
+		}
+	}
+	m := &Master{
+		router:    r,
+		placement: placement,
+		workers:   make([]*conn, len(workerAddrs)),
+		addrs:     append([]string(nil), workerAddrs...),
+	}
+	return m, nil
+}
+
+// workerConn returns (dialing lazily) the persistent connection to worker i.
+func (m *Master) workerConn(i int) (*conn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.workers[i] != nil {
+		return m.workers[i], nil
+	}
+	c, err := net.Dial("tcp", m.addrs[i])
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], err)
+	}
+	m.workers[i] = newConn(c)
+	return m.workers[i], nil
+}
+
+// dropWorkerConn discards a broken connection so the next call redials.
+func (m *Master) dropWorkerConn(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.workers[i] != nil {
+		m.workers[i].Close()
+		m.workers[i] = nil
+	}
+}
+
+// Query executes one SQL statement: rewrite → route → scatter per worker →
+// gather.
+func (m *Master) Query(sql string) (QueryResponse, error) {
+	plan, err := m.router.RouteSQL(sql)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	var total QueryResponse
+	total.SubQueries = len(plan.Ranges)
+	for _, rp := range plan.Ranges {
+		// Group this range's partitions by worker.
+		byWorker := make(map[int][]layout.ID)
+		for _, id := range rp.Parts {
+			w := m.placement[id]
+			byWorker[w] = append(byWorker[w], id)
+		}
+		type result struct {
+			resp ScanResponse
+			err  error
+		}
+		results := make(chan result, len(byWorker))
+		for w, ids := range byWorker {
+			go func(w int, ids []layout.ID) {
+				c, err := m.workerConn(w)
+				if err != nil {
+					results <- result{err: err}
+					return
+				}
+				var resp ScanResponse
+				if err := c.call(ScanRequest{Query: rp.Range, IDs: ids}, &resp); err != nil {
+					m.dropWorkerConn(w)
+					results <- result{err: err}
+					return
+				}
+				results <- result{resp: resp}
+			}(w, ids)
+		}
+		for range byWorker {
+			r := <-results
+			if r.err != nil {
+				return QueryResponse{}, r.err
+			}
+			if r.resp.Err != "" {
+				return QueryResponse{}, errors.New(r.resp.Err)
+			}
+			total.Rows += r.resp.Rows
+			total.BytesScanned += r.resp.BytesRead
+		}
+		total.PartitionsScanned += len(rp.Parts)
+	}
+	return total, nil
+}
+
+// Start serves the client protocol on addr and returns the bound address.
+func (m *Master) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	m.listener = l
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.serveClient(c)
+			}()
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+func (m *Master) serveClient(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	for {
+		var req QueryRequest
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+		resp, err := m.Query(req.SQL)
+		if err != nil {
+			resp = QueryResponse{Err: err.Error()}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts down the client listener and worker connections.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	l := m.listener
+	for i, w := range m.workers {
+		if w != nil {
+			w.Close()
+			m.workers[i] = nil
+		}
+	}
+	m.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	m.wg.Wait()
+	return err
+}
+
+// Client speaks SQL to a master over TCP.
+type Client struct {
+	conn *conn
+}
+
+// Dial connects to a master.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: newConn(c)}, nil
+}
+
+// Query runs one SQL statement.
+func (c *Client) Query(sql string) (QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.conn.call(QueryRequest{SQL: sql}, &resp); err != nil {
+		return QueryResponse{}, err
+	}
+	if resp.Err != "" {
+		return QueryResponse{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.conn.Close() }

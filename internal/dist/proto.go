@@ -1,0 +1,80 @@
+// Package dist implements the query framework of Fig. 4 as a real networked
+// system: a master node that owns the partition-layout metadata and rewrites
+// SQL into partition-ID lists, worker nodes that host materialised
+// partitions and execute scans, and a client speaking SQL to the master.
+// Messages are gob-encoded over TCP with one encoder/decoder pair per
+// connection.
+//
+// The package complements internal/cluster: the simulator predicts
+// end-to-end times under a disk model, while dist actually moves the scan
+// work across processes/sockets — the same separation the paper has between
+// its cost model (Eq. 1–2) and its Spark deployment.
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// ScanRequest asks a worker to scan a set of its partitions with one range
+// query.
+type ScanRequest struct {
+	Query geom.Box
+	IDs   []layout.ID
+}
+
+// ScanResponse reports the scan outcome.
+type ScanResponse struct {
+	Rows          int
+	BytesRead     int64
+	GroupsRead    int
+	GroupsSkipped int
+	Err           string
+}
+
+// QueryRequest is the client-to-master message: one SQL statement.
+type QueryRequest struct {
+	SQL string
+}
+
+// QueryResponse is the master's reply after scattering the scan work.
+type QueryResponse struct {
+	Rows              int
+	BytesScanned      int64
+	PartitionsScanned int
+	SubQueries        int
+	Err               string
+}
+
+// conn wraps a TCP connection with its gob codec pair and a mutex so
+// concurrent callers serialise request/response exchanges.
+type conn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// call performs one request/response round trip.
+func (c *conn) call(req, resp any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("dist: sending request: %w", err)
+	}
+	if err := c.dec.Decode(resp); err != nil {
+		return fmt.Errorf("dist: reading response: %w", err)
+	}
+	return nil
+}
+
+func (c *conn) Close() error { return c.c.Close() }

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"paw/internal/blockstore"
+	"paw/internal/layout"
+)
+
+// Worker hosts a subset of a store's partitions and serves ScanRequests.
+// A worker only answers for the partitions assigned to it; requests for
+// foreign partitions are errors (they indicate a master/placement bug).
+type Worker struct {
+	store    *blockstore.Store
+	assigned map[layout.ID]bool
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewWorker builds a worker serving the assigned partitions of store.
+func NewWorker(store *blockstore.Store, assigned []layout.ID) *Worker {
+	m := make(map[layout.ID]bool, len(assigned))
+	for _, id := range assigned {
+		m[id] = true
+	}
+	return &Worker{store: store, assigned: m}
+}
+
+// Start begins serving on addr (use "127.0.0.1:0" for tests) and returns
+// the bound address.
+func (w *Worker) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	w.mu.Lock()
+	w.listener = l
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go w.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (w *Worker) acceptLoop(l net.Listener) {
+	defer w.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.serveConn(c)
+		}()
+	}
+}
+
+func (w *Worker) serveConn(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	for {
+		var req ScanRequest
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !w.isClosed() {
+				// Connection-level failures end the session; the master
+				// will redial.
+				return
+			}
+			return
+		}
+		resp := w.handle(req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (w *Worker) handle(req ScanRequest) ScanResponse {
+	var resp ScanResponse
+	for _, id := range req.IDs {
+		if !w.assigned[id] {
+			resp.Err = fmt.Sprintf("worker does not host partition %d", id)
+			return resp
+		}
+		st, err := w.store.ScanPartition(id, req.Query)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Rows += st.Matched
+		resp.BytesRead += st.BytesRead
+		resp.GroupsRead += st.GroupsRead
+		resp.GroupsSkipped += st.GroupsSkipped
+	}
+	return resp
+}
+
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	l := w.listener
+	w.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	w.wg.Wait()
+	return err
+}

@@ -1,0 +1,174 @@
+package geom
+
+// HalfOpenBox is a box whose individual faces may be open (excluded).
+// Irregular partitions need this: when a grouped partition GP is carved out
+// of a parent box, records exactly on GP's boundary belong to GP, so the
+// leftover region's faces adjacent to GP are open. Treating them as closed
+// would charge the irregular partition for every query that merely touches a
+// group boundary — exactly the queries Multi-Group Split isolates.
+//
+// Bit d of OpenLo (OpenHi) set means the lower (upper) face of dimension d
+// is open. Dimensionality is limited to 32 by the bitmask width, far above
+// the paper's dmax = 8.
+type HalfOpenBox struct {
+	Box
+	OpenLo, OpenHi uint32
+}
+
+// Closed wraps a fully closed box.
+func Closed(b Box) HalfOpenBox { return HalfOpenBox{Box: b} }
+
+// IsEmpty reports whether the half-open box contains no points: some
+// dimension is inverted, or degenerate (lo == hi) with either face open.
+func (h HalfOpenBox) IsEmpty() bool {
+	if len(h.Lo) == 0 {
+		return true
+	}
+	for d := range h.Lo {
+		if h.Lo[d] > h.Hi[d] {
+			return true
+		}
+		if h.Lo[d] == h.Hi[d] && (h.openLo(d) || h.openHi(d)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (h HalfOpenBox) openLo(d int) bool { return h.OpenLo&(1<<uint(d)) != 0 }
+func (h HalfOpenBox) openHi(d int) bool { return h.OpenHi&(1<<uint(d)) != 0 }
+
+// Contains reports whether point x lies inside, honouring open faces.
+func (h HalfOpenBox) Contains(x Point) bool {
+	for d := range h.Lo {
+		if x[d] < h.Lo[d] || (x[d] == h.Lo[d] && h.openLo(d)) {
+			return false
+		}
+		if x[d] > h.Hi[d] || (x[d] == h.Hi[d] && h.openHi(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsBox reports whether a closed query box shares at least one point
+// with the half-open box. On an open face, mere plane contact does not
+// count.
+func (h HalfOpenBox) IntersectsBox(q Box) bool {
+	if h.IsEmpty() || q.IsEmpty() {
+		return false
+	}
+	for d := range h.Lo {
+		// Query entirely below the box, or touching an open lower face.
+		if q.Hi[d] < h.Lo[d] || (q.Hi[d] == h.Lo[d] && h.openLo(d)) {
+			return false
+		}
+		// Query entirely above the box, or touching an open upper face.
+		if q.Lo[d] > h.Hi[d] || (q.Lo[d] == h.Hi[d] && h.openHi(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubtractOpen computes a \ b where b is a closed box whose points (boundary
+// included) are removed. The pieces' faces that abut b are therefore open.
+func SubtractOpen(a HalfOpenBox, b Box) []HalfOpenBox {
+	inter, ok := a.Box.Intersection(b)
+	if !ok || a.IsEmpty() {
+		if a.IsEmpty() {
+			return nil
+		}
+		return []HalfOpenBox{{Box: a.Box.Clone(), OpenLo: a.OpenLo, OpenHi: a.OpenHi}}
+	}
+	var out []HalfOpenBox
+	rest := HalfOpenBox{Box: a.Box.Clone(), OpenLo: a.OpenLo, OpenHi: a.OpenHi}
+	for d := 0; d < a.Dims(); d++ {
+		bit := uint32(1) << uint(d)
+		// Slab below b in dimension d: its new upper face abuts b, so it
+		// is open (records at b.Lo[d] belong to b).
+		if rest.Lo[d] < inter.Lo[d] {
+			s := HalfOpenBox{Box: rest.Box.Clone(), OpenLo: rest.OpenLo, OpenHi: rest.OpenHi}
+			s.Hi[d] = inter.Lo[d]
+			s.OpenHi |= bit
+			if !s.IsEmpty() {
+				out = append(out, s)
+			}
+			rest.Lo[d] = inter.Lo[d]
+			// Later slabs escape b through other dimensions, so for them
+			// this plane is ordinary closed boundary.
+			rest.OpenLo &^= bit
+		}
+		// Slab above b in dimension d.
+		if rest.Hi[d] > inter.Hi[d] {
+			s := HalfOpenBox{Box: rest.Box.Clone(), OpenLo: rest.OpenLo, OpenHi: rest.OpenHi}
+			s.Lo[d] = inter.Hi[d]
+			s.OpenLo |= bit
+			if !s.IsEmpty() {
+				out = append(out, s)
+			}
+			rest.Hi[d] = inter.Hi[d]
+			rest.OpenHi &^= bit
+		}
+	}
+	return out
+}
+
+// OpenRegion is a union of pairwise-disjoint half-open boxes, describing the
+// exact point set of an irregular partition.
+type OpenRegion struct {
+	boxes []HalfOpenBox
+}
+
+// OpenRegionFromDifference builds the region outer \ (holes...), where every
+// hole is a closed box whose points are excluded.
+func OpenRegionFromDifference(outer Box, holes []Box) OpenRegion {
+	cur := []HalfOpenBox{Closed(outer)}
+	for _, h := range holes {
+		var next []HalfOpenBox
+		for _, c := range cur {
+			next = append(next, SubtractOpen(c, h)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return OpenRegion{boxes: cur}
+}
+
+// Boxes exposes the member boxes; callers must not mutate them.
+func (r OpenRegion) Boxes() []HalfOpenBox { return r.boxes }
+
+// IsEmpty reports whether the region contains no points.
+func (r OpenRegion) IsEmpty() bool { return len(r.boxes) == 0 }
+
+// Contains reports whether the region contains point x.
+func (r OpenRegion) Contains(x Point) bool {
+	for _, b := range r.boxes {
+		if b.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsBox reports whether a closed query box shares a point with the
+// region.
+func (r OpenRegion) IntersectsBox(q Box) bool {
+	for _, b := range r.boxes {
+		if b.IntersectsBox(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume returns the region's total volume (open faces are measure-zero).
+func (r OpenRegion) Volume() float64 {
+	v := 0.0
+	for _, b := range r.boxes {
+		v += b.Volume()
+	}
+	return v
+}

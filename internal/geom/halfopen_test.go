@@ -1,0 +1,218 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHalfOpenContains(t *testing.T) {
+	h := HalfOpenBox{Box: box2(0, 0, 10, 10), OpenLo: 1, OpenHi: 2} // dim0 lower open, dim1 upper open
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 5}, false},  // on open lower face of dim0
+		{Point{5, 10}, false}, // on open upper face of dim1
+		{Point{10, 5}, true},  // closed upper face of dim0
+		{Point{5, 0}, true},   // closed lower face of dim1
+	}
+	for _, c := range cases {
+		if got := h.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHalfOpenIntersectsBox(t *testing.T) {
+	h := HalfOpenBox{Box: box2(0, 0, 10, 10), OpenHi: 1} // dim0 upper face open
+	// Query touching only the open face: no intersection.
+	if h.IntersectsBox(box2(10, 2, 15, 5)) {
+		t.Error("contact on an open face must not intersect")
+	}
+	// Query overlapping past the face: intersects.
+	if !h.IntersectsBox(box2(9.9, 2, 15, 5)) {
+		t.Error("overlap must intersect")
+	}
+	// Contact on a closed face still intersects.
+	if !h.IntersectsBox(box2(-5, 2, 0, 5)) {
+		t.Error("contact on a closed face must intersect")
+	}
+}
+
+func TestHalfOpenIsEmpty(t *testing.T) {
+	if Closed(box2(0, 0, 1, 1)).IsEmpty() {
+		t.Error("closed box not empty")
+	}
+	// Degenerate dimension with an open face is empty.
+	h := HalfOpenBox{Box: box2(0, 0, 0, 10), OpenLo: 1}
+	if !h.IsEmpty() {
+		t.Error("degenerate open slab must be empty")
+	}
+	// Degenerate with closed faces contains the plane.
+	h = HalfOpenBox{Box: box2(0, 0, 0, 10)}
+	if h.IsEmpty() {
+		t.Error("degenerate closed slab holds points")
+	}
+	if !h.Contains(Point{0, 5}) {
+		t.Error("plane point must be contained")
+	}
+}
+
+func TestSubtractOpenCenterHole(t *testing.T) {
+	outer := Closed(box2(0, 0, 10, 10))
+	hole := box2(4, 4, 6, 6)
+	pieces := SubtractOpen(outer, hole)
+	vol := 0.0
+	for _, p := range pieces {
+		vol += p.Volume()
+	}
+	if math.Abs(vol-96) > 1e-9 {
+		t.Errorf("volume %v, want 96", vol)
+	}
+	r := OpenRegion{boxes: pieces}
+	// Hole boundary points belong to the hole, not the region.
+	for _, p := range []Point{{4, 4}, {6, 6}, {5, 4}, {4, 5}, {6, 5}} {
+		if r.Contains(p) {
+			t.Errorf("hole boundary point %v must not be in the region", p)
+		}
+	}
+	// Points just outside the hole are in the region.
+	eps := 1e-9
+	for _, p := range []Point{{4 - eps, 5}, {6 + eps, 5}, {5, 4 - eps}, {5, 6 + eps}} {
+		if !r.Contains(p) {
+			t.Errorf("point %v just outside the hole must be in the region", p)
+		}
+	}
+	// Outer boundary stays closed.
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) {
+		t.Error("outer corners must remain in the region")
+	}
+}
+
+// TestSubtractOpenQueryTouchingHole is the property that motivated half-open
+// boxes: a query lying exactly inside the hole, with faces on the hole's
+// boundary, must NOT intersect the leftover region.
+func TestSubtractOpenQueryTouchingHole(t *testing.T) {
+	r := OpenRegionFromDifference(box2(0, 0, 10, 10), []Box{box2(4, 4, 6, 6)})
+	if r.IntersectsBox(box2(4, 4, 6, 6)) {
+		t.Error("query equal to the hole must not intersect the region")
+	}
+	if r.IntersectsBox(box2(4.5, 4.5, 6, 6)) {
+		t.Error("query inside the hole touching its faces must not intersect")
+	}
+	if !r.IntersectsBox(box2(3.9, 4.5, 6, 6)) {
+		t.Error("query escaping the hole must intersect")
+	}
+	// Point query on the hole boundary: belongs to the hole.
+	if r.IntersectsBox(box2(4, 4, 4, 4)) {
+		t.Error("point query on hole corner must not intersect the region")
+	}
+}
+
+func TestOpenRegionMultipleHoles(t *testing.T) {
+	outer := box2(0, 0, 10, 10)
+	holes := []Box{box2(0, 0, 3, 3), box2(7, 0, 10, 3), box2(0, 7, 3, 10), box2(7, 7, 10, 10)}
+	r := OpenRegionFromDifference(outer, holes)
+	if math.Abs(r.Volume()-(100-4*9)) > 1e-9 {
+		t.Errorf("volume %v, want 64", r.Volume())
+	}
+	for _, h := range holes {
+		if r.IntersectsBox(h) {
+			t.Errorf("region intersects hole %v", h)
+		}
+	}
+	if !r.IntersectsBox(box2(4, 4, 6, 6)) {
+		t.Error("center must intersect")
+	}
+}
+
+func TestOpenRegionFullCover(t *testing.T) {
+	outer := box2(0, 0, 10, 10)
+	r := OpenRegionFromDifference(outer, []Box{outer})
+	if !r.IsEmpty() {
+		t.Errorf("region must be empty, has %d boxes", len(r.Boxes()))
+	}
+	// A hole covering outer and more.
+	r = OpenRegionFromDifference(outer, []Box{box2(-1, -1, 11, 11)})
+	if !r.IsEmpty() {
+		t.Error("region must be empty under a larger hole")
+	}
+}
+
+// Property test: membership in the open region is exactly "in outer and in
+// no hole (boundaries included)".
+func TestOpenRegionMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 150; iter++ {
+		outer := randomBox(rng, 3)
+		nh := rng.Intn(4)
+		holes := make([]Box, nh)
+		for i := range holes {
+			holes[i] = randomBox(rng, 3)
+		}
+		r := OpenRegionFromDifference(outer, holes)
+		for k := 0; k < 40; k++ {
+			var p Point
+			if k%4 == 0 && nh > 0 {
+				// Bias some samples onto hole boundaries.
+				h := holes[rng.Intn(nh)]
+				p = randomPointIn(rng, h)
+				d := rng.Intn(3)
+				if rng.Intn(2) == 0 {
+					p[d] = h.Lo[d]
+				} else {
+					p[d] = h.Hi[d]
+				}
+				if !outer.Contains(p) {
+					continue
+				}
+			} else {
+				p = randomPointIn(rng, outer)
+			}
+			inHole := false
+			for _, h := range holes {
+				if h.Contains(p) {
+					inHole = true
+					break
+				}
+			}
+			if got := r.Contains(p); got == inHole {
+				t.Fatalf("point %v: region.Contains=%v but inHole=%v (outer=%v holes=%v)",
+					p, got, inHole, outer, holes)
+			}
+		}
+	}
+}
+
+// Property: subtraction pieces are pairwise disjoint including boundaries
+// (sampled on piece corners).
+func TestSubtractOpenDisjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 100; iter++ {
+		outer := randomBox(rng, 2)
+		holes := []Box{randomBox(rng, 2), randomBox(rng, 2)}
+		r := OpenRegionFromDifference(outer, holes)
+		boxes := r.Boxes()
+		for i := range boxes {
+			// Corners of box i must not be contained in any other box.
+			corners := []Point{
+				{boxes[i].Lo[0], boxes[i].Lo[1]},
+				{boxes[i].Lo[0], boxes[i].Hi[1]},
+				{boxes[i].Hi[0], boxes[i].Lo[1]},
+				{boxes[i].Hi[0], boxes[i].Hi[1]},
+			}
+			for j := range boxes {
+				if i == j {
+					continue
+				}
+				for _, c := range corners {
+					if boxes[i].Contains(c) && boxes[j].Contains(c) {
+						t.Fatalf("boxes %d and %d both contain corner %v", i, j, c)
+					}
+				}
+			}
+		}
+	}
+}

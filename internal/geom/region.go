@@ -1,0 +1,66 @@
+package geom
+
+// Region is a union of pairwise disjoint boxes, used to describe
+// irregular-shaped partitions (paper §IV-B): the region of an irregular
+// partition IP is its parent box minus the grouped partitions carved out of
+// it. Disjointness here is measure-theoretic: member boxes may share
+// boundary faces but never interior volume.
+type Region struct {
+	boxes []Box
+}
+
+// NewRegion builds a region directly from boxes that the caller guarantees
+// to be interior-disjoint.
+func NewRegion(boxes []Box) Region {
+	out := make([]Box, 0, len(boxes))
+	for _, b := range boxes {
+		if !b.IsEmpty() {
+			out = append(out, b.Clone())
+		}
+	}
+	return Region{boxes: out}
+}
+
+// RegionFromDifference builds the region outer \ (holes...).
+func RegionFromDifference(outer Box, holes []Box) Region {
+	return Region{boxes: SubtractAll(outer, holes)}
+}
+
+// Boxes returns the member boxes. Callers must not mutate them.
+func (r Region) Boxes() []Box { return r.boxes }
+
+// IsEmpty reports whether the region covers no volume and no points.
+func (r Region) IsEmpty() bool { return len(r.boxes) == 0 }
+
+// Volume returns the total volume of the region.
+func (r Region) Volume() float64 {
+	v := 0.0
+	for _, b := range r.boxes {
+		v += b.Volume()
+	}
+	return v
+}
+
+// Intersects reports whether the query box q shares a point with the region.
+func (r Region) Intersects(q Box) bool {
+	for _, b := range r.boxes {
+		if b.Intersects(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether point x lies inside some member box.
+func (r Region) Contains(x Point) bool {
+	for _, b := range r.boxes {
+		if b.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// MBR returns the minimum bounding rectangle of the region. It panics on an
+// empty region.
+func (r Region) MBR() Box { return MBR(r.boxes...) }

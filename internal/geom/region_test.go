@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegionFromDifference(t *testing.T) {
+	outer := box2(0, 0, 10, 10)
+	holes := []Box{box2(0, 0, 3, 3), box2(7, 7, 10, 10)}
+	r := RegionFromDifference(outer, holes)
+	if r.IsEmpty() {
+		t.Fatal("region should not be empty")
+	}
+	if v := r.Volume(); math.Abs(v-(100-9-9)) > 1e-9 {
+		t.Errorf("region volume = %v, want 82", v)
+	}
+	if !r.Contains(Point{5, 5}) {
+		t.Error("region must contain (5,5)")
+	}
+	if r.Contains(Point{1, 1}) {
+		t.Error("region must not contain interior of hole (1,1)")
+	}
+}
+
+func TestRegionIntersects(t *testing.T) {
+	outer := box2(0, 0, 10, 10)
+	hole := box2(2, 2, 8, 8)
+	r := RegionFromDifference(outer, []Box{hole})
+	// A query fully inside the hole interior should not intersect the frame
+	// region except at boundaries; use a strictly interior query.
+	if r.Intersects(box2(3, 3, 7, 7)) {
+		t.Error("query strictly inside the hole must not intersect the frame region")
+	}
+	if !r.Intersects(box2(0, 0, 1, 1)) {
+		t.Error("query in the frame must intersect")
+	}
+	if !r.Intersects(box2(1, 1, 3, 3)) {
+		t.Error("query straddling the hole boundary must intersect")
+	}
+	if r.Intersects(box2(20, 20, 30, 30)) {
+		t.Error("query outside the outer box must not intersect")
+	}
+}
+
+func TestRegionEmpty(t *testing.T) {
+	outer := box2(0, 0, 10, 10)
+	r := RegionFromDifference(outer, []Box{outer})
+	if !r.IsEmpty() {
+		t.Errorf("subtracting the outer box itself must empty the region, got %v", r.Boxes())
+	}
+	if r.Intersects(box2(0, 0, 10, 10)) {
+		t.Error("empty region intersects nothing")
+	}
+}
+
+func TestRegionMBR(t *testing.T) {
+	r := NewRegion([]Box{box2(0, 0, 1, 1), box2(5, 5, 6, 7)})
+	if !r.MBR().Equal(box2(0, 0, 6, 7)) {
+		t.Errorf("MBR = %v", r.MBR())
+	}
+}
+
+func TestNewRegionDropsEmpty(t *testing.T) {
+	r := NewRegion([]Box{box2(1, 0, 0, 1), box2(0, 0, 1, 1)})
+	if len(r.Boxes()) != 1 {
+		t.Errorf("NewRegion should drop empty boxes, kept %d", len(r.Boxes()))
+	}
+}
+
+// Property: region membership agrees with "inside outer and not strictly
+// inside any hole" for random configurations.
+func TestRegionMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		outer := randomBox(rng, 3)
+		nh := rng.Intn(4)
+		holes := make([]Box, nh)
+		for i := range holes {
+			holes[i] = randomBox(rng, 3)
+		}
+		r := RegionFromDifference(outer, holes)
+		for k := 0; k < 40; k++ {
+			p := randomPointIn(rng, outer)
+			inHole := false
+			for _, h := range holes {
+				if strictlyInside(p, h) {
+					inHole = true
+					break
+				}
+			}
+			got := r.Contains(p)
+			if inHole && got {
+				t.Fatalf("point %v strictly inside a hole but region contains it", p)
+			}
+			onBoundary := false
+			for _, h := range holes {
+				if h.Contains(p) && !strictlyInside(p, h) {
+					onBoundary = true
+					break
+				}
+			}
+			if !inHole && !onBoundary && !got {
+				t.Fatalf("point %v outside all holes but region misses it", p)
+			}
+		}
+	}
+}

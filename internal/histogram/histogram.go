@@ -1,0 +1,126 @@
+// Package histogram provides per-dimension equi-depth histograms with the
+// classic attribute-independence selectivity model — the estimation
+// machinery a master node uses to predict result sizes without scanning
+// (result-size estimates drive the storage tuner's candidate sizing and give
+// query planners cardinality estimates; pawcli surfaces them next to the
+// true counts).
+package histogram
+
+import (
+	"fmt"
+	"sort"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+)
+
+// Histogram holds one equi-depth histogram per dimension.
+type Histogram struct {
+	rows    int
+	bounds  [][]float64 // per dim: buckets+1 ascending boundaries
+	buckets int
+}
+
+// Build constructs equi-depth histograms with the given bucket count per
+// dimension over rows of data (all rows when rows is nil).
+func Build(data *dataset.Dataset, rows []int, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: buckets must be >= 1, got %d", buckets)
+	}
+	n := data.NumRows()
+	if rows != nil {
+		n = len(rows)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: empty input")
+	}
+	h := &Histogram{rows: n, buckets: buckets, bounds: make([][]float64, data.Dims())}
+	vals := make([]float64, n)
+	for d := 0; d < data.Dims(); d++ {
+		if rows == nil {
+			for i := 0; i < n; i++ {
+				vals[i] = data.At(i, d)
+			}
+		} else {
+			for i, r := range rows {
+				vals[i] = data.At(r, d)
+			}
+		}
+		sort.Float64s(vals)
+		b := make([]float64, buckets+1)
+		b[0] = vals[0]
+		for k := 1; k < buckets; k++ {
+			b[k] = vals[k*n/buckets]
+		}
+		b[buckets] = vals[n-1]
+		h.bounds[d] = b
+	}
+	return h, nil
+}
+
+// Selectivity estimates the fraction of rows inside the closed box q,
+// multiplying per-dimension estimates (attribute independence).
+func (h *Histogram) Selectivity(q geom.Box) float64 {
+	s := 1.0
+	for d := range h.bounds {
+		s *= h.dimSelectivity(d, q.Lo[d], q.Hi[d])
+		if s == 0 {
+			return 0
+		}
+	}
+	return s
+}
+
+// EstimateRows estimates the result size of q in rows.
+func (h *Histogram) EstimateRows(q geom.Box) float64 {
+	return h.Selectivity(q) * float64(h.rows)
+}
+
+// dimSelectivity estimates P(lo <= X_d <= hi) by linear interpolation within
+// equi-depth buckets (each bucket holds mass 1/buckets).
+func (h *Histogram) dimSelectivity(d int, lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return h.cdf(d, hi) - h.cdf(d, lo)
+}
+
+// cdf estimates P(X_d < x) — using the open bound keeps degenerate buckets
+// (repeated values) from double counting; the closed-interval error is at
+// most one bucket of mass, which matches histogram precision anyway.
+func (h *Histogram) cdf(d int, x float64) float64 {
+	b := h.bounds[d]
+	buckets := len(b) - 1
+	if x <= b[0] {
+		return 0
+	}
+	if x >= b[buckets] {
+		return 1
+	}
+	// Find the bucket containing x.
+	k := sort.SearchFloat64s(b, x)
+	if k > 0 && b[k] != x {
+		k--
+	}
+	if k >= buckets {
+		k = buckets - 1
+	}
+	frac := 0.0
+	if span := b[k+1] - b[k]; span > 0 {
+		frac = (x - b[k]) / span
+	}
+	return (float64(k) + frac) / float64(buckets)
+}
+
+// Buckets returns the configured per-dimension bucket count.
+func (h *Histogram) Buckets() int { return h.buckets }
+
+// MemoryBytes returns the in-memory footprint of the histogram: 8 bytes per
+// boundary per dimension.
+func (h *Histogram) MemoryBytes() int64 {
+	var t int64
+	for _, b := range h.bounds {
+		t += int64(len(b)) * 8
+	}
+	return t
+}

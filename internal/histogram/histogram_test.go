@@ -1,0 +1,145 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/workload"
+)
+
+func TestBuildValidation(t *testing.T) {
+	data := dataset.Uniform(100, 2, 1)
+	if _, err := Build(data, nil, 0); err == nil {
+		t.Error("0 buckets must error")
+	}
+	if _, err := Build(data, []int{}, 8); err == nil {
+		t.Error("empty input must error")
+	}
+	h, err := Build(data, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 16 {
+		t.Errorf("buckets = %d", h.Buckets())
+	}
+	if h.MemoryBytes() != 2*17*8 {
+		t.Errorf("memory = %d", h.MemoryBytes())
+	}
+}
+
+func TestUniformSelectivity(t *testing.T) {
+	data := dataset.Uniform(50000, 2, 2)
+	h, err := Build(data, nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    geom.Box
+		want float64
+	}{
+		{geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{1, 1}}, 1},
+		{geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{0.5, 1}}, 0.5},
+		{geom.Box{Lo: geom.Point{0.25, 0.25}, Hi: geom.Point{0.75, 0.75}}, 0.25},
+		{geom.Box{Lo: geom.Point{0.9, 0.9}, Hi: geom.Point{1, 1}}, 0.01},
+	}
+	for _, c := range cases {
+		got := h.Selectivity(c.q)
+		if math.Abs(got-c.want) > 0.02+c.want*0.2 {
+			t.Errorf("Selectivity(%v) = %v, want ≈%v", c.q, got, c.want)
+		}
+	}
+	// Inverted and disjoint queries estimate zero.
+	if h.Selectivity(geom.Box{Lo: geom.Point{0.8, 0}, Hi: geom.Point{0.2, 1}}) != 0 {
+		t.Error("inverted box must estimate 0")
+	}
+	if h.Selectivity(geom.Box{Lo: geom.Point{5, 5}, Hi: geom.Point{6, 6}}) != 0 {
+		t.Error("out-of-domain box must estimate 0")
+	}
+}
+
+// TestEquiDepthBeatsAssumingUniform: on skewed data, equi-depth histograms
+// must estimate far better than assuming a uniform distribution over the
+// domain.
+func TestEquiDepthBeatsAssumingUniform(t *testing.T) {
+	data := dataset.OSMLike(40000, 6, 3)
+	h, err := Build(data, nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := data.Domain()
+	w := workload.Uniform(dom, workload.Defaults(200, 4))
+	var histErr, uniErr float64
+	for _, q := range w.Boxes() {
+		truth := float64(data.CountInBox(q, nil))
+		est := h.EstimateRows(q)
+		uni := q.Clip(dom).Volume() / dom.Volume() * float64(data.NumRows())
+		histErr += math.Abs(est - truth)
+		uniErr += math.Abs(uni - truth)
+	}
+	if histErr >= uniErr {
+		t.Errorf("equi-depth error %v not below uniform-assumption error %v", histErr, uniErr)
+	}
+	t.Logf("mean abs error: histogram %.1f rows, uniform assumption %.1f rows",
+		histErr/200, uniErr/200)
+}
+
+// TestIndependenceAccuracyOnIndependentData: with independent attributes the
+// product model should be accurate for moderate selectivities.
+func TestIndependenceAccuracyOnIndependentData(t *testing.T) {
+	data := dataset.Uniform(80000, 3, 5)
+	h, err := Build(data, nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Uniform(data.Domain(), workload.GenParams{
+		NumQueries: 100, MaxRangeFrac: 0.5, Centers: 1, SigmaFrac: 0.1, Seed: 6,
+	})
+	for _, q := range w.Boxes() {
+		truth := float64(data.CountInBox(q, nil))
+		est := h.EstimateRows(q)
+		if truth > 500 { // only judge where relative error is meaningful
+			rel := math.Abs(est-truth) / truth
+			if rel > 0.30 {
+				t.Errorf("query %v: est %.0f vs truth %.0f (rel %.2f)", q, est, truth, rel)
+			}
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	data := dataset.OSMLike(5000, 4, 7)
+	h, err := Build(data, nil, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := data.Domain()
+	for d := 0; d < 2; d++ {
+		prev := -1.0
+		for i := 0; i <= 100; i++ {
+			x := dom.Lo[d] + float64(i)/100*(dom.Hi[d]-dom.Lo[d])
+			c := h.cdf(d, x)
+			if c < prev-1e-12 {
+				t.Fatalf("cdf not monotone at dim %d x=%v: %v < %v", d, x, c, prev)
+			}
+			if c < 0 || c > 1 {
+				t.Fatalf("cdf out of range: %v", c)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestBuildOnSubset(t *testing.T) {
+	data := dataset.Uniform(10000, 2, 8)
+	sample := data.Sample(1000, 9)
+	h, err := Build(data, sample, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{0.5, 0.5}}
+	if got := h.Selectivity(q); math.Abs(got-0.25) > 0.05 {
+		t.Errorf("sampled selectivity = %v, want ≈0.25", got)
+	}
+}

@@ -1,0 +1,287 @@
+// Package ingest maintains a partition layout as new records arrive — the
+// data-growth counterpart to the paper's workload-drift story. Block-based
+// storage keeps partitions within [bmin, maxRows]; arriving records are
+// routed to their leaf, and a leaf that outgrows the maximum is split at the
+// median of its widest (normalized) dimension, preserving the layout's
+// query-driven structure above it. Rectangular and irregular leaves both
+// split; an irregular leaf's children inherit the holes that overlap them.
+//
+// The ingestor buffers partition contents in memory (a memtable, at this
+// repository's 1/1000 scale); Snapshot seals the current tree into a fresh
+// layout for the master to swap in.
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Params configures maintenance.
+type Params struct {
+	// MinRows is bmin: splits never create smaller children.
+	MinRows int
+	// MaxRows triggers a split when a leaf exceeds it. Defaults to
+	// 4×MinRows (a partition may temporarily hold up to ~2 blocks of
+	// records before the split lands).
+	MaxRows int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinRows < 1 {
+		p.MinRows = 1
+	}
+	if p.MaxRows < 2*p.MinRows {
+		p.MaxRows = 4 * p.MinRows
+	}
+	return p
+}
+
+// Ingestor is the mutable layout-maintenance state.
+type Ingestor struct {
+	p        Params
+	rowBytes int64
+	method   string
+	root     *node
+	splits   int
+	rows     int64
+	rejected int64
+}
+
+// node mirrors layout.Node but owns buffered points at the leaves.
+type node struct {
+	desc     layout.Descriptor
+	children []*node
+	points   []geom.Point // leaf payload
+	leaf     bool
+}
+
+// New seeds the ingestor from an existing layout and the records currently
+// stored in it (routed per partition with RouteIndices, typically).
+func New(l *layout.Layout, perPartition map[layout.ID][]geom.Point, p Params) (*Ingestor, error) {
+	p = p.withDefaults()
+	ing := &Ingestor{p: p, rowBytes: l.RowBytes, method: l.Method + "+ingest"}
+	var convert func(n *layout.Node) *node
+	convert = func(n *layout.Node) *node {
+		out := &node{desc: n.Desc}
+		if n.IsLeaf() {
+			out.leaf = true
+			out.points = append(out.points, perPartition[n.Part.ID]...)
+			ing.rows += int64(len(out.points))
+			return out
+		}
+		for _, c := range n.Children {
+			out.children = append(out.children, convert(c))
+		}
+		return out
+	}
+	ing.root = convert(l.Root)
+	var total int64
+	for _, pts := range perPartition {
+		total += int64(len(pts))
+	}
+	if total != ing.rows {
+		return nil, fmt.Errorf("ingest: %d of %d seeded points landed in leaves", ing.rows, total)
+	}
+	return ing, nil
+}
+
+// Rows returns the number of records currently held.
+func (ing *Ingestor) Rows() int64 { return ing.rows }
+
+// Splits returns the number of maintenance splits performed.
+func (ing *Ingestor) Splits() int { return ing.splits }
+
+// Rejected returns the number of records no leaf accepted (outside the
+// domain descriptor; callers decide whether to widen the root).
+func (ing *Ingestor) Rejected() int64 { return ing.rejected }
+
+// Add routes one record, buffering it in its leaf and splitting the leaf if
+// it outgrew MaxRows. Records outside every leaf's region are rejected.
+func (ing *Ingestor) Add(pt geom.Point) bool {
+	leaf := descend(ing.root, pt)
+	if leaf == nil {
+		ing.rejected++
+		return false
+	}
+	leaf.points = append(leaf.points, pt.Clone())
+	ing.rows++
+	if len(leaf.points) > ing.p.MaxRows {
+		ing.splitLeaf(leaf)
+	}
+	return true
+}
+
+func descend(n *node, pt geom.Point) *node {
+	for !n.leaf {
+		var next *node
+		for _, c := range n.children {
+			if c.desc.Contains(pt) {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		n = next
+	}
+	return n
+}
+
+// splitLeaf divides the leaf at the median of its widest normalized
+// dimension (the k-d rule); the leaf becomes internal with two children.
+func (ing *Ingestor) splitLeaf(n *node) {
+	dims := len(n.points[0])
+	mbr := n.desc.MBR()
+	// Pick the dimension with the widest point spread relative to the
+	// descriptor extent (degenerate extents are skipped).
+	bestDim, bestSpread := -1, 0.0
+	for d := 0; d < dims; d++ {
+		lo, hi := n.points[0][d], n.points[0][d]
+		for _, p := range n.points {
+			if p[d] < lo {
+				lo = p[d]
+			}
+			if p[d] > hi {
+				hi = p[d]
+			}
+		}
+		ext := mbr.Hi[d] - mbr.Lo[d]
+		if ext <= 0 {
+			continue
+		}
+		if spread := (hi - lo) / ext; spread > bestSpread {
+			bestSpread, bestDim = spread, d
+		}
+	}
+	if bestDim < 0 {
+		return // all points identical: nothing to split
+	}
+	vals := make([]float64, len(n.points))
+	for i, p := range n.points {
+		vals[i] = p[bestDim]
+	}
+	sort.Float64s(vals)
+	cut := vals[len(vals)/2]
+	if cut == vals[len(vals)-1] {
+		i := sort.SearchFloat64s(vals, cut) - 1
+		if i < 0 {
+			return
+		}
+		cut = vals[i]
+	}
+	var leftPts, rightPts []geom.Point
+	for _, p := range n.points {
+		if p[bestDim] <= cut {
+			leftPts = append(leftPts, p)
+		} else {
+			rightPts = append(rightPts, p)
+		}
+	}
+	if len(leftPts) < ing.p.MinRows || len(rightPts) < ing.p.MinRows {
+		return // duplicates skewed the median: stay whole until more data arrives
+	}
+	left, right := childDescriptors(n.desc, bestDim, cut)
+	n.children = []*node{
+		{desc: left, leaf: true, points: leftPts},
+		{desc: right, leaf: true, points: rightPts},
+	}
+	n.points = nil
+	n.leaf = false
+	ing.splits++
+}
+
+// childDescriptors cuts a descriptor at value `cut` on dimension dim; the
+// boundary value belongs to the left child. Irregular descriptors keep the
+// holes overlapping each side.
+func childDescriptors(d layout.Descriptor, dim int, cut float64) (layout.Descriptor, layout.Descriptor) {
+	mbr := d.MBR()
+	lbox := mbr.Clone()
+	lbox.Hi[dim] = cut
+	rbox := mbr.Clone()
+	rbox.Lo[dim] = nextUp(cut)
+	if ir, ok := d.(layout.Irregular); ok {
+		return layout.NewIrregular(lbox, clipHoles(ir.Holes, lbox)),
+			layout.NewIrregular(rbox, clipHoles(ir.Holes, rbox))
+	}
+	return layout.NewRect(lbox), layout.NewRect(rbox)
+}
+
+func nextUp(x float64) float64 { return math.Nextafter(x, math.Inf(1)) }
+
+func clipHoles(holes []geom.Box, box geom.Box) []geom.Box {
+	var out []geom.Box
+	for _, h := range holes {
+		if inter, ok := h.Intersection(box); ok {
+			out = append(out, inter)
+		}
+	}
+	return out
+}
+
+// Maintain sweeps the whole tree and splits every leaf above MaxRows,
+// repeating until no leaf is oversized or no further split is admissible.
+// Use it after seeding from a layout built under different size rules, or
+// periodically instead of relying on per-Add triggers.
+func (ing *Ingestor) Maintain() int {
+	before := ing.splits
+	for {
+		split := false
+		var walk func(n *node)
+		walk = func(n *node) {
+			if n.leaf {
+				if len(n.points) > ing.p.MaxRows {
+					s := ing.splits
+					ing.splitLeaf(n)
+					if ing.splits > s {
+						split = true
+					}
+				}
+				return
+			}
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+		walk(ing.root)
+		if !split {
+			break
+		}
+	}
+	return ing.splits - before
+}
+
+// Snapshot seals the current tree into a fresh layout with up-to-date
+// partition sizes. Partition IDs are renumbered; masters must swap metadata
+// atomically.
+func (ing *Ingestor) Snapshot() *layout.Layout {
+	var convert func(n *node) *layout.Node
+	convert = func(n *node) *layout.Node {
+		out := &layout.Node{Desc: n.desc}
+		if n.leaf {
+			out.Part = &layout.Partition{Desc: n.desc, FullRows: int64(len(n.points))}
+			return out
+		}
+		for _, c := range n.children {
+			out.Children = append(out.Children, convert(c))
+		}
+		return out
+	}
+	l := layout.Seal(ing.method, convert(ing.root), ing.rowBytes)
+	l.TotalBytes = ing.rows * ing.rowBytes
+	return l
+}
+
+// Points returns the buffered records of the partition that currently holds
+// pt's location (for scans/tests).
+func (ing *Ingestor) Points(pt geom.Point) []geom.Point {
+	leaf := descend(ing.root, pt)
+	if leaf == nil {
+		return nil
+	}
+	return leaf.points
+}

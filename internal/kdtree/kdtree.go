@@ -1,0 +1,126 @@
+// Package kdtree implements the data-aware baseline of the paper's
+// evaluation: a standard k-d tree partitioner that chooses split dimensions
+// round-robin and splits at the median, recursing until partitions reach the
+// finest admissible size [bmin, 2·bmin) (§VI-A). It ignores the query
+// workload entirely, which makes it robust to workload drift but inefficient
+// when workloads are focused (Fig. 1c column of Table I).
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Params configures the build.
+type Params struct {
+	// MinRows is bmin expressed in sample rows: no partition may hold fewer.
+	MinRows int
+}
+
+// Build constructs a k-d tree layout over the given sample rows of data.
+// domain must cover all sample rows (typically the dataset's MBR). The
+// returned layout is sealed but not routed.
+func Build(data *dataset.Dataset, rows []int, domain geom.Box, p Params) *layout.Layout {
+	if p.MinRows < 1 {
+		p.MinRows = 1
+	}
+	b := &builder{data: data, minRows: p.MinRows}
+	root := b.split(domain, rows, 0)
+	return layout.Seal("kd-tree", root, data.RowBytes())
+}
+
+type builder struct {
+	data    *dataset.Dataset
+	minRows int
+}
+
+// split recursively divides box/rows, cycling the split dimension by depth.
+func (b *builder) split(box geom.Box, rows []int, depth int) *layout.Node {
+	if len(rows) < 2*b.minRows {
+		return leaf(box, rows)
+	}
+	dims := b.data.Dims()
+	// Round-robin: try the scheduled dimension first, then the rest, in
+	// case the scheduled one is degenerate (all values equal).
+	for off := 0; off < dims; off++ {
+		dim := (depth + off) % dims
+		cut, ok := b.medianCut(rows, dim)
+		if !ok {
+			continue
+		}
+		left, right := partitionRows(b.data, rows, dim, cut)
+		if len(left) < b.minRows || len(right) < b.minRows {
+			continue
+		}
+		lbox := box.Clone()
+		lbox.Hi[dim] = cut
+		rbox := box.Clone()
+		// Children must not overlap even on the boundary plane: the cut
+		// value itself belongs to the left child ("v <= cut goes left").
+		rbox.Lo[dim] = math.Nextafter(cut, math.Inf(1))
+		return &layout.Node{
+			Desc: layout.NewRect(box),
+			Children: []*layout.Node{
+				b.split(lbox, left, depth+1),
+				b.split(rbox, right, depth+1),
+			},
+		}
+	}
+	return leaf(box, rows)
+}
+
+// medianCut returns the median value of rows on dim. It fails when all
+// values are equal (no cut can separate anything).
+func (b *builder) medianCut(rows []int, dim int) (float64, bool) {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = b.data.At(r, dim)
+	}
+	sort.Float64s(vals)
+	if vals[0] == vals[len(vals)-1] {
+		return 0, false
+	}
+	m := vals[len(vals)/2]
+	// A median equal to the minimum would put everything on one side under
+	// the "v <= cut goes left" rule only if all values <= m... shift to the
+	// largest value strictly below the top to guarantee a non-trivial split.
+	if m == vals[len(vals)-1] {
+		// Find the largest value below the maximum.
+		i := sort.SearchFloat64s(vals, m) - 1
+		if i < 0 {
+			return 0, false
+		}
+		m = vals[i]
+	}
+	return m, true
+}
+
+// partitionRows splits row indices by the closed rule "value <= cut goes
+// left", mirroring the router's first-match-wins tie-breaking.
+func partitionRows(data *dataset.Dataset, rows []int, dim int, cut float64) (left, right []int) {
+	for _, r := range rows {
+		if data.At(r, dim) <= cut {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}
+
+func leaf(box geom.Box, rows []int) *layout.Node {
+	d := layout.NewRect(box)
+	return &layout.Node{Desc: d, Part: &layout.Partition{Desc: d, SampleRows: rows}}
+}
+
+// RefineLeaf splits one box/row-set k-d style until pieces fall below
+// 2·minRows, returning the subtree. PAW's data-aware optimisation (§IV-E)
+// uses it to keep splitting query-free leaves to the finest size.
+func RefineLeaf(data *dataset.Dataset, box geom.Box, rows []int, minRows int, depth int) *layout.Node {
+	b := &builder{data: data, minRows: minRows}
+	return b.split(box, rows, depth)
+}

@@ -1,0 +1,168 @@
+package kdtree
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestBuildBasic(t *testing.T) {
+	data := dataset.Uniform(1000, 2, 1)
+	l := Build(data, allRows(1000), data.Domain(), Params{MinRows: 50})
+	if l.Method != "kd-tree" {
+		t.Errorf("method = %q", l.Method)
+	}
+	// Every leaf must satisfy [bmin, 2bmin) on the sample rows.
+	for _, p := range l.Parts {
+		n := len(p.SampleRows)
+		if n < 50 || n >= 100 {
+			t.Errorf("partition %d has %d sample rows, want [50, 100)", p.ID, n)
+		}
+	}
+	// 1000 rows in [50,100) chunks → between 11 and 20 partitions.
+	if got := l.NumPartitions(); got < 11 || got > 20 {
+		t.Errorf("partitions = %d", got)
+	}
+	l.Route(data)
+	if err := l.Validate(data, 50); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildTiny(t *testing.T) {
+	data := dataset.Uniform(10, 2, 2)
+	l := Build(data, allRows(10), data.Domain(), Params{MinRows: 20})
+	if l.NumPartitions() != 1 {
+		t.Errorf("tiny dataset must stay one partition, got %d", l.NumPartitions())
+	}
+	// MinRows < 1 is normalised.
+	l = Build(data, allRows(10), data.Domain(), Params{MinRows: 0})
+	l.Route(data)
+	if l.Unrouted != 0 {
+		t.Errorf("unrouted = %d", l.Unrouted)
+	}
+}
+
+func TestBuildDuplicateValues(t *testing.T) {
+	// All records identical on dim 0, varying on dim 1: the builder must
+	// skip the degenerate dimension and still split on dim 1.
+	n := 200
+	c0 := make([]float64, n)
+	c1 := make([]float64, n)
+	for i := range c1 {
+		c0[i] = 5
+		c1[i] = float64(i)
+	}
+	data := dataset.MustNew([]string{"x", "y"}, [][]float64{c0, c1})
+	l := Build(data, allRows(n), data.Domain(), Params{MinRows: 25})
+	if l.NumPartitions() < 4 {
+		t.Errorf("expected splits on the non-degenerate dimension, got %d partitions", l.NumPartitions())
+	}
+	l.Route(data)
+	if err := l.Validate(data, 25); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildAllIdentical(t *testing.T) {
+	// Fully degenerate data cannot be split at all.
+	n := 100
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 7
+	}
+	data := dataset.MustNew([]string{"x"}, [][]float64{c})
+	l := Build(data, allRows(n), data.Domain(), Params{MinRows: 10})
+	if l.NumPartitions() != 1 {
+		t.Errorf("identical data must stay one partition, got %d", l.NumPartitions())
+	}
+}
+
+func TestChildrenDoNotOverlap(t *testing.T) {
+	data := dataset.Uniform(500, 3, 3)
+	l := Build(data, allRows(500), data.Domain(), Params{MinRows: 30})
+	parts := l.Parts
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			bi := parts[i].Desc.MBR()
+			bj := parts[j].Desc.MBR()
+			if inter, ok := bi.Intersection(bj); ok && inter.Volume() > 0 {
+				t.Fatalf("partitions %d and %d overlap: %v ∩ %v", i, j, bi, bj)
+			}
+		}
+	}
+}
+
+func TestRouteMatchesSampleAssignment(t *testing.T) {
+	// Building on all rows and routing the same dataset must agree with the
+	// sample assignment per partition.
+	data := dataset.Uniform(400, 2, 9)
+	l := Build(data, allRows(400), data.Domain(), Params{MinRows: 40})
+	l.Route(data)
+	for _, p := range l.Parts {
+		if int64(len(p.SampleRows)) != p.FullRows {
+			t.Errorf("partition %d: sample %d vs routed %d", p.ID, len(p.SampleRows), p.FullRows)
+		}
+	}
+}
+
+func TestRefineLeaf(t *testing.T) {
+	data := dataset.Uniform(300, 2, 5)
+	box := data.Domain()
+	node := RefineLeaf(data, box, allRows(300), 30, 0)
+	leaves := node.Leaves()
+	if len(leaves) < 4 {
+		t.Errorf("RefineLeaf produced %d leaves", len(leaves))
+	}
+	for _, lf := range leaves {
+		n := len(lf.Part.SampleRows)
+		if n < 30 || n >= 60 {
+			t.Errorf("leaf has %d rows, want [30,60)", n)
+		}
+		if !box.ContainsBox(lf.Desc.MBR()) {
+			t.Error("leaf escapes the parent box")
+		}
+	}
+}
+
+func TestWorkloadIndependence(t *testing.T) {
+	// The k-d tree must produce identical layouts regardless of workload —
+	// it is data-aware only. (Trivially true by API; this pins the shape.)
+	data := dataset.Uniform(600, 2, 8)
+	l1 := Build(data, allRows(600), data.Domain(), Params{MinRows: 50})
+	l2 := Build(data, allRows(600), data.Domain(), Params{MinRows: 50})
+	if l1.NumPartitions() != l2.NumPartitions() {
+		t.Fatal("k-d tree build not deterministic")
+	}
+	for i := range l1.Parts {
+		if !l1.Parts[i].Desc.MBR().Equal(l2.Parts[i].Desc.MBR()) {
+			t.Fatal("k-d tree build not deterministic")
+		}
+	}
+}
+
+func TestSubsetRows(t *testing.T) {
+	// Building on a strict sample, then routing the full dataset.
+	data := dataset.Uniform(2000, 2, 4)
+	sample := data.Sample(500, 77)
+	l := Build(data, sample, data.Domain(), Params{MinRows: 50})
+	l.Route(data)
+	if l.Unrouted != 0 {
+		t.Fatalf("unrouted = %d", l.Unrouted)
+	}
+	var sum int64
+	for _, p := range l.Parts {
+		sum += p.FullRows
+	}
+	if sum != 2000 {
+		t.Errorf("routed %d rows", sum)
+	}
+}

@@ -1,0 +1,166 @@
+// Package knn answers k-nearest-neighbour queries on top of a partition
+// layout — the paper's first future-work direction ("how to support more SQL
+// and analytic query operations (e.g., KNN) that could benefit from
+// partitioning?", §VII).
+//
+// The search is the classic best-first branch and bound (Roussopoulos et
+// al., adapted from R-trees to partition layouts): partitions are visited in
+// ascending MINDIST order between the query point and the partition's
+// descriptor region, and the search stops when the next partition's MINDIST
+// exceeds the current k-th best distance. Inside a partition, whole row
+// groups are skipped by the same bound against their SMA envelopes, so the
+// I/O accounting reflects what a real executor would read.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"paw/internal/blockstore"
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Result is one neighbour.
+type Result struct {
+	Point geom.Point
+	Dist  float64 // Euclidean distance to the query point
+}
+
+// Stats reports the work a search performed.
+type Stats struct {
+	PartitionsScanned int
+	GroupsScanned     int
+	GroupsSkipped     int
+	BytesScanned      int64
+}
+
+// Search returns the k records nearest to q (Euclidean distance), in
+// ascending distance order.
+func Search(l *layout.Layout, store *blockstore.Store, q geom.Point, k int) ([]Result, Stats, error) {
+	var st Stats
+	if k < 1 {
+		return nil, st, fmt.Errorf("knn: k must be >= 1, got %d", k)
+	}
+	// Partition frontier ordered by MINDIST to the descriptor.
+	frontier := make(partHeap, 0, len(l.Parts))
+	for _, p := range l.Parts {
+		frontier = append(frontier, partEntry{part: p, minDist: descMinDist(p.Desc, q)})
+	}
+	heap.Init(&frontier)
+
+	best := &resultHeap{} // max-heap on distance, capped at k
+	for frontier.Len() > 0 {
+		pe := heap.Pop(&frontier).(partEntry)
+		if best.Len() == k && pe.minDist > best.worst() {
+			break // no remaining partition can improve the result
+		}
+		sp, err := store.Partition(pe.part.ID)
+		if err != nil {
+			return nil, st, err
+		}
+		st.PartitionsScanned++
+		tab := sp.Table
+		for g := 0; g < tab.NumGroups(); g++ {
+			stats := tab.GroupStats(g)
+			if stats.Empty() {
+				st.GroupsSkipped++
+				continue
+			}
+			if best.Len() == k && minDistBox(stats.MBR(), q) > best.worst() {
+				st.GroupsSkipped++
+				continue
+			}
+			st.GroupsScanned++
+			st.BytesScanned += tab.GroupBytes(g)
+			for _, pt := range tab.GroupPoints(g) {
+				d := euclid(pt, q)
+				if best.Len() < k {
+					heap.Push(best, Result{Point: pt, Dist: d})
+				} else if d < best.worst() {
+					heap.Pop(best)
+					heap.Push(best, Result{Point: pt, Dist: d})
+				}
+			}
+		}
+	}
+	out := make([]Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Result)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, st, nil
+}
+
+// descMinDist is the minimal Euclidean distance from q to the descriptor's
+// region.
+func descMinDist(d layout.Descriptor, q geom.Point) float64 {
+	switch v := d.(type) {
+	case layout.Rect:
+		return minDistBox(v.Box, q)
+	case layout.Irregular:
+		min := math.Inf(1)
+		for _, hb := range v.Region().Boxes() {
+			if m := minDistBox(hb.Box, q); m < min {
+				min = m
+			}
+		}
+		return min
+	default:
+		return minDistBox(d.MBR(), q)
+	}
+}
+
+// minDistBox is the minimal Euclidean distance from point q to box b
+// (0 when q is inside). Open faces are measure-zero and ignored: a bound
+// computed on the closed box differs from the true infimum by nothing.
+func minDistBox(b geom.Box, q geom.Point) float64 {
+	var sum float64
+	for d := range q {
+		switch {
+		case q[d] < b.Lo[d]:
+			diff := b.Lo[d] - q[d]
+			sum += diff * diff
+		case q[d] > b.Hi[d]:
+			diff := q[d] - b.Hi[d]
+			sum += diff * diff
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+func euclid(a, b geom.Point) float64 {
+	var sum float64
+	for d := range a {
+		diff := a[d] - b[d]
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// partEntry orders partitions by MINDIST.
+type partEntry struct {
+	part    *layout.Partition
+	minDist float64
+}
+
+type partHeap []partEntry
+
+func (h partHeap) Len() int           { return len(h) }
+func (h partHeap) Less(i, j int) bool { return h[i].minDist < h[j].minDist }
+func (h partHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *partHeap) Push(x any)        { *h = append(*h, x.(partEntry)) }
+func (h *partHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// resultHeap is a max-heap on distance so the worst of the current k best
+// is always on top.
+type resultHeap []Result
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h resultHeap) worst() float64     { return h[0].Dist }

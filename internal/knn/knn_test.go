@@ -1,0 +1,165 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"paw/internal/blockstore"
+	"paw/internal/core"
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/kdtree"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func setupKd(t *testing.T, rows int) (*layout.Layout, *blockstore.Store, *dataset.Dataset) {
+	t.Helper()
+	data := dataset.Uniform(rows, 2, 1)
+	l := kdtree.Build(data, allRows(rows), data.Domain(), kdtree.Params{MinRows: rows / 32})
+	store := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 64})
+	return l, store, data
+}
+
+func bruteForce(data *dataset.Dataset, q geom.Point, k int) []Result {
+	out := make([]Result, 0, data.NumRows())
+	for i := 0; i < data.NumRows(); i++ {
+		out = append(out, Result{Point: data.Point(i), Dist: euclid(data.Point(i), q)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	l, store, data := setupKd(t, 3000)
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 30; iter++ {
+		q := geom.Point{rng.Float64() * 1.2, rng.Float64() * 1.2} // sometimes outside the domain
+		k := 1 + rng.Intn(20)
+		got, _, err := Search(l, store, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(data, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("got %d results, want %d", len(got), len(want))
+		}
+		for i := range got {
+			// Distances must agree exactly (points may tie and swap).
+			if diff := got[i].Dist - want[i].Dist; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("iter %d k=%d rank %d: dist %v, want %v", iter, k, i, got[i].Dist, want[i].Dist)
+			}
+		}
+		// Results sorted ascending.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatal("results not sorted")
+			}
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	l, store, data := setupKd(t, 5000)
+	q := geom.Point{0.5, 0.5}
+	_, st, err := Search(l, store, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PartitionsScanned >= l.NumPartitions() {
+		t.Errorf("scanned all %d partitions — no pruning", st.PartitionsScanned)
+	}
+	if st.BytesScanned >= data.TotalBytes() {
+		t.Errorf("scanned %d of %d bytes — no pruning", st.BytesScanned, data.TotalBytes())
+	}
+	t.Logf("k=5: scanned %d/%d partitions, %d groups (+%d skipped), %d bytes",
+		st.PartitionsScanned, l.NumPartitions(), st.GroupsScanned, st.GroupsSkipped, st.BytesScanned)
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	l, store, data := setupKd(t, 500)
+	// k larger than the dataset returns everything.
+	got, _, err := Search(l, store, geom.Point{0.5, 0.5}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != data.NumRows() {
+		t.Errorf("k>n returned %d of %d", len(got), data.NumRows())
+	}
+	// k < 1 errors.
+	if _, _, err := Search(l, store, geom.Point{0.5, 0.5}, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+	// Exact hit: nearest distance 0.
+	p := data.Point(123)
+	got, _, err = Search(l, store, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != 0 {
+		t.Errorf("exact-hit distance = %v", got[0].Dist)
+	}
+}
+
+// TestSearchOnPAWLayout exercises MINDIST on irregular descriptors.
+func TestSearchOnPAWLayout(t *testing.T) {
+	data := dataset.Uniform(4000, 2, 3)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(15, 4))
+	l := core.Build(data, allRows(4000), dom, hist, core.Params{MinRows: 60, Delta: 0.01})
+	store := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 64})
+	irr := 0
+	for _, p := range l.Parts {
+		if p.Desc.Kind() == layout.KindIrregular {
+			irr++
+		}
+	}
+	if irr == 0 {
+		t.Skip("no irregular partitions on this seed")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		q := geom.Point{rng.Float64(), rng.Float64()}
+		got, _, err := Search(l, store, q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(data, q, 8)
+		for i := range got {
+			if diff := got[i].Dist - want[i].Dist; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("iter %d rank %d: dist %v, want %v", iter, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestMinDistBox(t *testing.T) {
+	b := geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{2, 2}}
+	cases := []struct {
+		p    geom.Point
+		want float64
+	}{
+		{geom.Point{1, 1}, 0},   // inside
+		{geom.Point{2, 2}, 0},   // corner
+		{geom.Point{3, 1}, 1},   // right face
+		{geom.Point{5, 6}, 5},   // 3-4-5 corner
+		{geom.Point{-3, -4}, 5}, // other corner
+	}
+	for _, c := range cases {
+		if got := minDistBox(b, c.p); got != c.want {
+			t.Errorf("minDistBox(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

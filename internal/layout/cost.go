@@ -1,0 +1,132 @@
+package layout
+
+import (
+	"paw/internal/dataset"
+	"paw/internal/geom"
+)
+
+// Extra is a redundant partition installed by the storage tuner (§V-B): a
+// rectangular copy of the records inside Box, stored in spare disk space.
+// Queries fully contained in Box can be answered from the extra partition
+// alone.
+type Extra struct {
+	Box      geom.Box
+	FullRows int64
+	RowBytes int64
+}
+
+// Bytes returns the extra partition's physical size.
+func (e Extra) Bytes() int64 { return e.FullRows * e.RowBytes }
+
+// Extras is the set of redundant partitions attached to a layout.
+type Extras []Extra
+
+// CostRows is the construction-time cost model: the total number of sample
+// rows a workload scans against candidate pieces. Both Algorithms 1–3 and
+// the Qd-tree greedy use it with sample-row sizes (Eq. 2 with size measured
+// in rows).
+func CostRows(pieces []Piece, queries []geom.Box) int64 {
+	var total int64
+	for _, q := range queries {
+		for _, p := range pieces {
+			if p.Desc.Intersects(q) {
+				total += int64(p.Rows)
+			}
+		}
+	}
+	return total
+}
+
+// Piece is a candidate partition during construction: a descriptor plus the
+// number of sample rows it holds.
+type Piece struct {
+	Desc Descriptor
+	Rows int
+}
+
+// QueryCost returns Cost(P, q) in bytes (Eq. 1): the total size of the
+// partitions whose descriptors intersect q, after precise-descriptor pruning
+// (§V-A) and the storage tuner's extra partitions (§V-B) are applied.
+func (l *Layout) QueryCost(q geom.Box, extras Extras) int64 {
+	// Extra partitions first: a query fully inside one is answered from the
+	// cheapest such copy alone.
+	best := int64(-1)
+	for _, e := range extras {
+		if e.Box.ContainsBox(q) {
+			if b := e.Bytes(); best < 0 || b < best {
+				best = b
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	var total int64
+	for _, p := range l.Parts {
+		if !p.Desc.Intersects(q) {
+			continue
+		}
+		if p.PruneWithPrecise(q) {
+			continue
+		}
+		total += p.Bytes()
+	}
+	return total
+}
+
+// WorkloadCost returns Cost(P, Q) in bytes (Eq. 2).
+func (l *Layout) WorkloadCost(queries []geom.Box, extras Extras) int64 {
+	var total int64
+	for _, q := range queries {
+		total += l.QueryCost(q, extras)
+	}
+	return total
+}
+
+// AvgCost returns the average per-query cost in bytes.
+func (l *Layout) AvgCost(queries []geom.Box, extras Extras) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	return float64(l.WorkloadCost(queries, extras)) / float64(len(queries))
+}
+
+// ScanRatio returns the paper's headline metric: the average per-query I/O
+// cost as a fraction of the dataset size (reported as "% of dataset").
+func (l *Layout) ScanRatio(queries []geom.Box, extras Extras) float64 {
+	if l.TotalBytes == 0 {
+		return 0
+	}
+	return l.AvgCost(queries, extras) / float64(l.TotalBytes)
+}
+
+// LowerBoundBytes is LBCost for one query: the exact result size, i.e. the
+// bytes of the records matching q. No layout can scan less.
+func LowerBoundBytes(data *dataset.Dataset, q geom.Box) int64 {
+	return int64(data.CountInBox(q, nil)) * data.RowBytes()
+}
+
+// LowerBoundRatio returns the average LBCost over a workload as a fraction
+// of the dataset size.
+func LowerBoundRatio(data *dataset.Dataset, queries []geom.Box) float64 {
+	if len(queries) == 0 || data.NumRows() == 0 {
+		return 0
+	}
+	var total int64
+	for _, q := range queries {
+		total += LowerBoundBytes(data, q)
+	}
+	return float64(total) / float64(len(queries)) / float64(data.TotalBytes())
+}
+
+// PartitionsFor returns the IDs of the partitions a query must scan, in ID
+// order — the list the master sends to the storage layer (Fig. 4).
+func (l *Layout) PartitionsFor(q geom.Box) []ID {
+	var out []ID
+	for _, p := range l.Parts {
+		if p.Desc.Intersects(q) && !p.PruneWithPrecise(q) {
+			out = append(out, p.ID)
+		}
+	}
+	return out
+}

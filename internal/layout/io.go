@@ -1,0 +1,307 @@
+package layout
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"paw/internal/geom"
+)
+
+// Binary layout format ("PAWL"): the master's durable metadata — the full
+// partition tree with descriptors, partition sizes and precise descriptors —
+// so a master restart (or a cold pawcli run) can reload routing state
+// without rebuilding the layout. Sample row indices are construction-time
+// state and are not persisted.
+//
+//	magic    uint32 'PAWL'
+//	version  uint16 1
+//	method   uint16 len + bytes
+//	rowBytes, totalBytes, unrouted int64
+//	tree     pre-order; per node:
+//	           descTag uint8 (0 rect, 1 irregular)
+//	           desc    rect: box | irregular: outer box, nHoles uint32, holes
+//	           isLeaf  uint8
+//	           if leaf: id int64, fullRows int64,
+//	                    nPrecise uint32, precise boxes
+//	           nChildren uint32, children...
+//	box      dims uint16, then 2·dims float64 (lo..., hi...)
+const (
+	layoutMagic   = 0x5041574C // "PAWL"
+	layoutVersion = 1
+)
+
+// Encode serialises the layout.
+func (l *Layout) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	write := func(v any) error { return binary.Write(bw, le, v) }
+	if err := write(uint32(layoutMagic)); err != nil {
+		return err
+	}
+	if err := write(uint16(layoutVersion)); err != nil {
+		return err
+	}
+	if len(l.Method) > math.MaxUint16 {
+		return fmt.Errorf("layout: method name too long")
+	}
+	if err := write(uint16(len(l.Method))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(l.Method); err != nil {
+		return err
+	}
+	for _, v := range []int64{l.RowBytes, l.TotalBytes, l.Unrouted} {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	if err := writeNode(bw, l.Root); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeBox(w io.Writer, b geom.Box) error {
+	le := binary.LittleEndian
+	if err := binary.Write(w, le, uint16(b.Dims())); err != nil {
+		return err
+	}
+	for _, v := range b.Lo {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range b.Hi {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeNode(w io.Writer, n *Node) error {
+	le := binary.LittleEndian
+	switch d := n.Desc.(type) {
+	case Rect:
+		if err := binary.Write(w, le, uint8(0)); err != nil {
+			return err
+		}
+		if err := writeBox(w, d.Box); err != nil {
+			return err
+		}
+	case Irregular:
+		if err := binary.Write(w, le, uint8(1)); err != nil {
+			return err
+		}
+		if err := writeBox(w, d.Outer); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, uint32(len(d.Holes))); err != nil {
+			return err
+		}
+		for _, h := range d.Holes {
+			if err := writeBox(w, h); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("layout: cannot serialise descriptor %T", n.Desc)
+	}
+	isLeaf := uint8(0)
+	if n.IsLeaf() {
+		isLeaf = 1
+	}
+	if err := binary.Write(w, le, isLeaf); err != nil {
+		return err
+	}
+	if n.IsLeaf() {
+		if err := binary.Write(w, le, int64(n.Part.ID)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, n.Part.FullRows); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, uint32(len(n.Part.Precise))); err != nil {
+			return err
+		}
+		for _, b := range n.Part.Precise {
+			if err := writeBox(w, b); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(w, le, uint32(len(n.Children))); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode deserialises a layout written by Encode. The result is fully
+// routable and costable; sample rows are absent.
+func Decode(r io.Reader) (*Layout, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, fmt.Errorf("layout: reading magic: %w", err)
+	}
+	if magic != layoutMagic {
+		return nil, fmt.Errorf("layout: bad magic %#x", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != layoutVersion {
+		return nil, fmt.Errorf("layout: unsupported version %d", version)
+	}
+	var mlen uint16
+	if err := binary.Read(br, le, &mlen); err != nil {
+		return nil, err
+	}
+	mb := make([]byte, mlen)
+	if _, err := io.ReadFull(br, mb); err != nil {
+		return nil, err
+	}
+	l := &Layout{Method: string(mb)}
+	for _, p := range []*int64{&l.RowBytes, &l.TotalBytes, &l.Unrouted} {
+		if err := binary.Read(br, le, p); err != nil {
+			return nil, err
+		}
+	}
+	root, err := readNode(br, l)
+	if err != nil {
+		return nil, err
+	}
+	l.Root = root
+	// Parts were appended in pre-order; verify the stored IDs agree so
+	// PartitionsFor indexing stays valid.
+	for i, p := range l.Parts {
+		if int(p.ID) != i {
+			return nil, fmt.Errorf("layout: partition ID %d at position %d", p.ID, i)
+		}
+		p.RowBytes = l.RowBytes
+	}
+	return l, nil
+}
+
+func readBox(r io.Reader) (geom.Box, error) {
+	le := binary.LittleEndian
+	var dims uint16
+	if err := binary.Read(r, le, &dims); err != nil {
+		return geom.Box{}, err
+	}
+	if dims == 0 || dims > 1024 {
+		return geom.Box{}, fmt.Errorf("layout: implausible box dimensionality %d", dims)
+	}
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := range lo {
+		if err := binary.Read(r, le, &lo[i]); err != nil {
+			return geom.Box{}, err
+		}
+	}
+	for i := range hi {
+		if err := binary.Read(r, le, &hi[i]); err != nil {
+			return geom.Box{}, err
+		}
+	}
+	return geom.Box{Lo: lo, Hi: hi}, nil
+}
+
+func readNode(r io.Reader, l *Layout) (*Node, error) {
+	le := binary.LittleEndian
+	var tag uint8
+	if err := binary.Read(r, le, &tag); err != nil {
+		return nil, err
+	}
+	var desc Descriptor
+	switch tag {
+	case 0:
+		b, err := readBox(r)
+		if err != nil {
+			return nil, err
+		}
+		desc = Rect{Box: b}
+	case 1:
+		outer, err := readBox(r)
+		if err != nil {
+			return nil, err
+		}
+		var nh uint32
+		if err := binary.Read(r, le, &nh); err != nil {
+			return nil, err
+		}
+		if nh > 1<<20 {
+			return nil, fmt.Errorf("layout: implausible hole count %d", nh)
+		}
+		holes := make([]geom.Box, nh)
+		for i := range holes {
+			if holes[i], err = readBox(r); err != nil {
+				return nil, err
+			}
+		}
+		desc = NewIrregular(outer, holes)
+	default:
+		return nil, fmt.Errorf("layout: unknown descriptor tag %d", tag)
+	}
+	var isLeaf uint8
+	if err := binary.Read(r, le, &isLeaf); err != nil {
+		return nil, err
+	}
+	node := &Node{Desc: desc}
+	if isLeaf == 1 {
+		var id, fullRows int64
+		if err := binary.Read(r, le, &id); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &fullRows); err != nil {
+			return nil, err
+		}
+		var np uint32
+		if err := binary.Read(r, le, &np); err != nil {
+			return nil, err
+		}
+		if np > 1<<20 {
+			return nil, fmt.Errorf("layout: implausible precise-MBR count %d", np)
+		}
+		precise := make([]geom.Box, np)
+		for i := range precise {
+			var err error
+			if precise[i], err = readBox(r); err != nil {
+				return nil, err
+			}
+		}
+		node.Part = &Partition{ID: ID(id), Desc: desc, FullRows: fullRows, Precise: precise}
+		if np == 0 {
+			node.Part.Precise = nil
+		}
+		l.Parts = append(l.Parts, node.Part)
+	}
+	var nc uint32
+	if err := binary.Read(r, le, &nc); err != nil {
+		return nil, err
+	}
+	if nc > 1<<20 {
+		return nil, fmt.Errorf("layout: implausible child count %d", nc)
+	}
+	if isLeaf == 1 && nc > 0 {
+		return nil, fmt.Errorf("layout: leaf with %d children", nc)
+	}
+	for i := uint32(0); i < nc; i++ {
+		c, err := readNode(r, l)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, c)
+	}
+	return node, nil
+}

@@ -1,0 +1,114 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+
+	"paw/internal/geom"
+)
+
+func TestLayoutRoundTrip(t *testing.T) {
+	l, _ := grid4(t)
+	l.Parts[0].Precise = []geom.Box{box2(1, 1, 2, 2)}
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != l.Method || got.RowBytes != l.RowBytes ||
+		got.TotalBytes != l.TotalBytes || got.Unrouted != l.Unrouted {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.NumPartitions() != l.NumPartitions() {
+		t.Fatalf("partitions: %d vs %d", got.NumPartitions(), l.NumPartitions())
+	}
+	for i, p := range l.Parts {
+		q := got.Parts[i]
+		if q.ID != p.ID || q.FullRows != p.FullRows || q.RowBytes != p.RowBytes {
+			t.Errorf("partition %d mismatch: %+v vs %+v", i, q, p)
+		}
+		if !q.Desc.MBR().Equal(p.Desc.MBR()) {
+			t.Errorf("partition %d descriptor mismatch", i)
+		}
+		if len(q.Precise) != len(p.Precise) {
+			t.Errorf("partition %d precise count %d vs %d", i, len(q.Precise), len(p.Precise))
+		}
+	}
+	// Routing decisions must be identical.
+	for _, q := range []geom.Box{box2(1, 1, 2, 2), box2(1, 1, 7, 7), box2(3, 3, 4, 4)} {
+		a := l.PartitionsFor(q)
+		b := got.PartitionsFor(q)
+		if len(a) != len(b) {
+			t.Fatalf("PartitionsFor(%v): %v vs %v", q, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("PartitionsFor(%v): %v vs %v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestLayoutRoundTripIrregular(t *testing.T) {
+	outer := box2(0, 0, 10, 10)
+	gpBox := box2(4, 4, 6, 6)
+	gp := &Node{Desc: NewRect(gpBox), Part: &Partition{Desc: NewRect(gpBox)}}
+	ipDesc := NewIrregular(outer, []geom.Box{gpBox})
+	ip := &Node{Desc: ipDesc, Part: &Partition{Desc: ipDesc}}
+	root := &Node{Desc: NewRect(outer), Children: []*Node{gp, ip}}
+	l := Seal("paw", root, 32)
+	l.Parts[0].FullRows = 7
+	l.Parts[1].FullRows = 13
+	l.TotalBytes = 640
+
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, ok := got.Parts[1].Desc.(Irregular)
+	if !ok {
+		t.Fatalf("partition 1 descriptor is %T, want Irregular", got.Parts[1].Desc)
+	}
+	if len(ir.Holes) != 1 || !ir.Holes[0].Equal(gpBox) {
+		t.Errorf("holes not preserved: %v", ir.Holes)
+	}
+	// The reconstructed open region must behave identically.
+	if ir.Intersects(box2(4.5, 4.5, 5.5, 5.5)) {
+		t.Error("query inside the hole must not intersect after round trip")
+	}
+	if !ir.Intersects(box2(0, 0, 1, 1)) {
+		t.Error("frame query must intersect after round trip")
+	}
+}
+
+func TestLayoutReadRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{9, 9, 9, 9})); err == nil {
+		t.Error("bad magic must error")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must error")
+	}
+	l, _ := grid4(t)
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{10, buf.Len() / 2, buf.Len() - 3} {
+		if _, err := Decode(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d must error", cut)
+		}
+	}
+	// Corrupt the descriptor tag of the root.
+	b := append([]byte(nil), buf.Bytes()...)
+	b[4+2+2+len(l.Method)+24] = 77 // first node's descTag
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Error("unknown descriptor tag must error")
+	}
+}

@@ -1,0 +1,250 @@
+package layout
+
+import (
+	"fmt"
+	"sync"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+)
+
+// ID identifies a physical (leaf) partition.
+type ID int
+
+// Partition is a leaf of the partition tree: a physical block-set in the
+// storage layer. SampleRows holds the layout-construction sample rows that
+// fell into the partition; FullRows is set by routing the complete dataset.
+type Partition struct {
+	ID   ID
+	Desc Descriptor
+
+	// SampleRows are indices into the construction sample.
+	SampleRows []int
+	// FullRows is the number of records of the full dataset routed here.
+	FullRows int64
+	// RowBytes is the simulated size of one record.
+	RowBytes int64
+
+	// Precise is the optional precise descriptor (§V-A): a small set of
+	// MBRs that collectively cover the partition's records. When non-empty
+	// the master may skip the partition even if Desc intersects the query.
+	Precise []geom.Box
+}
+
+// Bytes returns the partition's physical size.
+func (p *Partition) Bytes() int64 { return p.FullRows * p.RowBytes }
+
+// PruneWithPrecise reports whether the precise descriptor proves the query
+// cannot touch this partition (no MBR intersects q). With no precise
+// descriptor installed it always returns false.
+func (p *Partition) PruneWithPrecise(q geom.Box) bool {
+	if len(p.Precise) == 0 {
+		return false
+	}
+	for _, m := range p.Precise {
+		if m.Intersects(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is a vertex of the partition tree (Fig. 10). Internal nodes keep only
+// descriptors for query routing; leaves own physical partitions.
+type Node struct {
+	Desc     Descriptor
+	Children []*Node
+	Part     *Partition // non-nil iff leaf
+}
+
+// IsLeaf reports whether the node is a physical partition.
+func (n *Node) IsLeaf() bool { return n.Part != nil }
+
+// Walk visits every node in pre-order.
+func (n *Node) Walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Leaves returns the leaf nodes in pre-order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) {
+		if m.IsLeaf() {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// routeDown descends from n to the leaf whose region contains p. Children
+// are tested in order, so builders must place irregular partitions after the
+// grouped partitions carved out of them (boundary points then resolve to the
+// group). Returns nil when no child accepts the point.
+func (n *Node) routeDown(p geom.Point) *Partition {
+	cur := n
+	for !cur.IsLeaf() {
+		var next *Node
+		for _, c := range cur.Children {
+			if c.Desc.Contains(p) {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur.Part
+}
+
+// Layout is a complete partition layout over a dataset.
+type Layout struct {
+	// Method records which algorithm produced the layout ("paw",
+	// "qd-tree", "kd-tree"), for reporting.
+	Method string
+	// Root is the partition tree; Root.Desc covers the whole domain.
+	Root *Node
+	// Parts are the physical partitions (the tree's leaves), indexed by ID.
+	Parts []*Partition
+	// RowBytes is the simulated record size.
+	RowBytes int64
+	// TotalBytes is the routed dataset's total size.
+	TotalBytes int64
+	// Unrouted counts records no leaf accepted (should be 0; kept as a
+	// safety signal for floating-point edge cases).
+	Unrouted int64
+}
+
+// Seal numbers the leaves, wires Parts and returns the layout. Builders call
+// it once the tree is final.
+func Seal(method string, root *Node, rowBytes int64) *Layout {
+	l := &Layout{Method: method, Root: root, RowBytes: rowBytes}
+	for _, leaf := range root.Leaves() {
+		leaf.Part.ID = ID(len(l.Parts))
+		leaf.Part.RowBytes = rowBytes
+		l.Parts = append(l.Parts, leaf.Part)
+	}
+	return l
+}
+
+// Route assigns every record of data to a leaf partition, setting FullRows
+// and TotalBytes. It reproduces the paper's construction protocol: the
+// logical layout is computed on a sample, then the full dataset is routed
+// through it (§VI-A). Route may be called repeatedly; counts are reset.
+func (l *Layout) Route(data *dataset.Dataset) {
+	for _, p := range l.Parts {
+		p.FullRows = 0
+	}
+	l.Unrouted = 0
+	dims := data.Dims()
+	pt := make(geom.Point, dims)
+	for i := 0; i < data.NumRows(); i++ {
+		for d := 0; d < dims; d++ {
+			pt[d] = data.At(i, d)
+		}
+		if part := l.Root.routeDown(pt); part != nil {
+			part.FullRows++
+		} else {
+			l.Unrouted++
+		}
+	}
+	l.TotalBytes = int64(data.NumRows()) * l.RowBytes
+}
+
+// RouteParallel is Route with the row scan fanned out over up to workers
+// goroutines; results are identical to Route. Routing dominates layout
+// materialisation time (Table II), so the block store uses this on
+// multi-core hosts.
+func (l *Layout) RouteParallel(data *dataset.Dataset, workers int) {
+	n := data.NumRows()
+	if workers < 2 || n < 4096 {
+		l.Route(data)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	dims := data.Dims()
+	nParts := len(l.Parts)
+	counts := make([][]int64, workers)
+	unrouted := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		counts[w] = make([]int64, nParts)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pt := make(geom.Point, dims)
+			for i := lo; i < hi; i++ {
+				for d := 0; d < dims; d++ {
+					pt[d] = data.At(i, d)
+				}
+				if part := l.Root.routeDown(pt); part != nil {
+					counts[w][part.ID]++
+				} else {
+					unrouted[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range l.Parts {
+		p.FullRows = 0
+	}
+	l.Unrouted = 0
+	for w := range counts {
+		if counts[w] == nil {
+			continue
+		}
+		for id, c := range counts[w] {
+			l.Parts[id].FullRows += c
+		}
+		l.Unrouted += unrouted[w]
+	}
+	l.TotalBytes = int64(n) * l.RowBytes
+}
+
+// RouteIndices routes only the given rows; used to route record subsets to
+// build precise descriptors per partition.
+func (l *Layout) RouteIndices(data *dataset.Dataset, idx []int) map[ID][]int {
+	out := make(map[ID][]int)
+	dims := data.Dims()
+	pt := make(geom.Point, dims)
+	for _, i := range idx {
+		for d := 0; d < dims; d++ {
+			pt[d] = data.At(i, d)
+		}
+		if part := l.Root.routeDown(pt); part != nil {
+			out[part.ID] = append(out[part.ID], i)
+		}
+	}
+	return out
+}
+
+// NumPartitions returns the number of physical partitions.
+func (l *Layout) NumPartitions() int { return len(l.Parts) }
+
+// String summarises the layout.
+func (l *Layout) String() string {
+	irr := 0
+	for _, p := range l.Parts {
+		if p.Desc.Kind() == KindIrregular {
+			irr++
+		}
+	}
+	return fmt.Sprintf("%s layout: %d partitions (%d irregular), %d bytes",
+		l.Method, len(l.Parts), irr, l.TotalBytes)
+}

@@ -1,0 +1,150 @@
+package maxskip
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/qdtree"
+	"paw/internal/workload"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func box2(l0, l1, h0, h1 float64) geom.Box {
+	return geom.Box{Lo: geom.Point{l0, l1}, Hi: geom.Point{h0, h1}}
+}
+
+func TestBuildBasics(t *testing.T) {
+	data := dataset.Uniform(3000, 2, 1)
+	w := workload.Uniform(data.Domain(), workload.Defaults(20, 2))
+	l := Build(data, allRows(3000), w.Boxes(), Params{MinRows: 100})
+	if l.Method != "maxskip" {
+		t.Errorf("method = %q", l.Method)
+	}
+	var sum int64
+	for _, p := range l.Parts {
+		if p.FullRows < 100 {
+			t.Errorf("partition %d has %d rows, below bmin", p.ID, p.FullRows)
+		}
+		sum += p.FullRows
+	}
+	if sum != 3000 {
+		t.Errorf("routed %d of 3000 rows", sum)
+	}
+	if l.TotalBytes != data.TotalBytes() {
+		t.Errorf("TotalBytes = %d", l.TotalBytes)
+	}
+}
+
+func TestSkipsOnHistoricalWorkload(t *testing.T) {
+	data := dataset.Uniform(5000, 2, 3)
+	w := workload.Uniform(data.Domain(), workload.Defaults(15, 4))
+	l := Build(data, allRows(5000), w.Boxes(), Params{MinRows: 100})
+	ratio := l.ScanRatio(w.Boxes(), nil)
+	if ratio > 0.6 {
+		t.Errorf("scan ratio %v — feature clustering skipped almost nothing", ratio)
+	}
+}
+
+// TestMaxSkipOverfitsWorseThanQdTree: on the *training* workload the
+// feature-vector index is near-optimal (it is essentially result-set
+// partitioning), but its skipping power vanishes on drifted future queries —
+// the index carries no geometric information beyond partition MBRs, which
+// overlap heavily. This is the overfitting spectrum the paper's Table I
+// sketches, one step beyond the Qd-tree.
+func TestMaxSkipOverfitsWorseThanQdTree(t *testing.T) {
+	data := dataset.Uniform(6000, 2, 5)
+	dom := data.Domain()
+	w := workload.Uniform(dom, workload.Defaults(25, 6))
+	fut := workload.Future(w, 0.01, 1, 7)
+	ms := Build(data, allRows(6000), w.Boxes(), Params{MinRows: 60})
+	qd := qdtree.Build(data, allRows(6000), dom, w.Boxes(), qdtree.Params{MinRows: 60})
+	qd.Route(data)
+
+	msFut := ms.ScanRatio(fut.Boxes(), nil)
+	qdFut := qd.ScanRatio(fut.Boxes(), nil)
+	if msFut <= qdFut {
+		t.Errorf("MaxSkip (%v) not above Qd-tree (%v) on the future workload", msFut, qdFut)
+	}
+	msHist := ms.ScanRatio(w.Boxes(), nil)
+	if msFut < 2*msHist {
+		t.Errorf("MaxSkip future ratio %v not clearly above its training ratio %v", msFut, msHist)
+	}
+	t.Logf("scan ratios: MaxSkip hist=%.4f fut=%.4f; Qd-tree fut=%.4f", msHist, msFut, qdFut)
+}
+
+func TestSingleQuery(t *testing.T) {
+	// One query: two cells (inside/outside); merging must respect bmin.
+	data := dataset.Uniform(1000, 2, 7)
+	q := box2(0.4, 0.4, 0.6, 0.6)
+	l := Build(data, allRows(1000), []geom.Box{q}, Params{MinRows: 10})
+	if l.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d, want 2", l.NumPartitions())
+	}
+	// The query must scan only the matching partition.
+	cost := l.QueryCost(q, nil)
+	if cost >= data.TotalBytes() {
+		t.Errorf("query scans everything (%d bytes)", cost)
+	}
+}
+
+func TestNoQueries(t *testing.T) {
+	data := dataset.Uniform(500, 2, 8)
+	l := Build(data, allRows(500), nil, Params{MinRows: 50})
+	if l.NumPartitions() != 1 {
+		t.Errorf("no queries must yield one partition, got %d", l.NumPartitions())
+	}
+	if l.Parts[0].FullRows != 500 {
+		t.Errorf("rows = %d", l.Parts[0].FullRows)
+	}
+}
+
+func TestDescriptorsCoverRecords(t *testing.T) {
+	data := dataset.Uniform(2000, 2, 9)
+	w := workload.Uniform(data.Domain(), workload.Defaults(10, 10))
+	l := Build(data, allRows(2000), w.Boxes(), Params{MinRows: 50})
+	// Cost model safety: summed costs over any query must be at least the
+	// lower bound (descriptors are record MBRs, so no result row escapes).
+	fut := workload.Uniform(data.Domain(), workload.Defaults(30, 11))
+	for _, q := range fut.Boxes() {
+		if got, lb := l.QueryCost(q, nil), layout.LowerBoundBytes(data, q); got < lb {
+			t.Fatalf("query %v cost %d below lower bound %d", q, got, lb)
+		}
+	}
+}
+
+func TestMergePenalty(t *testing.T) {
+	a := cell{vec: []uint64{0b0011}, count: 10} // queries 0,1
+	b := cell{vec: []uint64{0b0110}, count: 20} // queries 1,2
+	// union: 0b0111 (3 queries), cost 30*3=90; individual: 10*2 + 20*2 = 60.
+	if p := mergePenalty(a, b); p != 30 {
+		t.Errorf("penalty = %d, want 30", p)
+	}
+	// Identical vectors merge free.
+	c := cell{vec: []uint64{0b0011}, count: 5}
+	if p := mergePenalty(a, c); p != 0 {
+		t.Errorf("identical-vector penalty = %d, want 0", p)
+	}
+}
+
+func TestSampleBuildRoutesFull(t *testing.T) {
+	data := dataset.Uniform(8000, 2, 12)
+	w := workload.Uniform(data.Domain(), workload.Defaults(15, 13))
+	sample := data.Sample(800, 14)
+	l := Build(data, sample, w.Boxes(), Params{MinRows: 20})
+	var sum int64
+	for _, p := range l.Parts {
+		sum += p.FullRows
+	}
+	if sum != 8000 {
+		t.Errorf("routed %d of 8000", sum)
+	}
+}

@@ -1,0 +1,249 @@
+// Package qdtree implements the greedy Qd-tree of Yang et al. (SIGMOD 2020),
+// the state-of-the-art workload-aware baseline the paper compares against.
+// The paper's evaluation uses this deterministic greedy variant because it
+// performs comparably to the reinforcement-learning variant (§VI-A).
+//
+// The greedy Qd-tree recursively splits the current partition at the
+// candidate cut — the lower or upper boundary of some workload query on some
+// dimension — that minimises the workload's I/O cost over the resulting
+// children, subject to the minimum partition size bmin, and stops when no
+// cut improves the cost.
+package qdtree
+
+import (
+	"math"
+	"sort"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Params configures the build.
+type Params struct {
+	// MinRows is bmin in sample rows.
+	MinRows int
+}
+
+// Build constructs a greedy Qd-tree layout for the given workload over the
+// sample rows of data. The returned layout is sealed but not routed.
+func Build(data *dataset.Dataset, rows []int, domain geom.Box, queries []geom.Box, p Params) *layout.Layout {
+	if p.MinRows < 1 {
+		p.MinRows = 1
+	}
+	b := &builder{data: data, minRows: p.MinRows}
+	root := b.split(domain, rows, queries)
+	return layout.Seal("qd-tree", root, data.RowBytes())
+}
+
+type builder struct {
+	data    *dataset.Dataset
+	minRows int
+}
+
+// Cut is an axis-parallel split with explicit boundary ownership: records
+// with value <= LeftHi go left, the rest go right. LeftHi and RightLo are
+// adjacent floats, so the children's closed descriptor boxes do not overlap
+// and a cut placed at a query's lower bound keeps the query fully out of the
+// left child (the point of cutting there).
+type Cut struct {
+	Dim             int
+	LeftHi, RightLo float64
+}
+
+// CutAtLower builds the cut for a query lower bound v: the boundary value
+// itself belongs to the right child.
+func CutAtLower(dim int, v float64) Cut {
+	return Cut{Dim: dim, LeftHi: math.Nextafter(v, math.Inf(-1)), RightLo: v}
+}
+
+// CutAtUpper builds the cut for a query upper bound v: the boundary value
+// itself belongs to the left child.
+func CutAtUpper(dim int, v float64) Cut {
+	return Cut{Dim: dim, LeftHi: v, RightLo: math.Nextafter(v, math.Inf(1))}
+}
+
+// Apply divides box into the two child boxes of the cut.
+func (c Cut) Apply(box geom.Box) (left, right geom.Box) {
+	left = box.Clone()
+	left.Hi[c.Dim] = c.LeftHi
+	right = box.Clone()
+	right.Lo[c.Dim] = c.RightLo
+	return left, right
+}
+
+// Inside reports whether the cut separates the interior of box at all.
+func (c Cut) Inside(box geom.Box) bool {
+	return c.LeftHi >= box.Lo[c.Dim] && c.RightLo <= box.Hi[c.Dim]
+}
+
+// Candidates enumerates the Qd-tree cut set for a box: cuts at the lower and
+// upper values of every query on every dimension, restricted to cuts that
+// actually separate the box. PAW's Axis-Parallel Split (Alg. 2) reuses this.
+func Candidates(box geom.Box, queries []geom.Box) []Cut {
+	var out []Cut
+	seen := make(map[Cut]bool)
+	add := func(c Cut) {
+		if !c.Inside(box) {
+			return
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, q := range queries {
+		for dim := range q.Lo {
+			add(CutAtLower(dim, q.Lo[dim]))
+			add(CutAtUpper(dim, q.Hi[dim]))
+		}
+	}
+	return out
+}
+
+func (b *builder) split(box geom.Box, rows []int, queries []geom.Box) *layout.Node {
+	if len(rows) < 2*b.minRows || len(queries) == 0 {
+		return leaf(box, rows)
+	}
+	// Current (unsplit) cost: every intersecting query scans all rows.
+	curCost := int64(len(queries)) * int64(len(rows))
+	bestCut, bestCost, ok := BestCut(b.data, box, rows, queries, nil, b.minRows)
+	if !ok || bestCost >= curCost {
+		return leaf(box, rows)
+	}
+	left, right := SplitRows(b.data, rows, bestCut)
+	lbox, rbox := bestCut.Apply(box)
+	return &layout.Node{
+		Desc: layout.NewRect(box),
+		Children: []*layout.Node{
+			b.split(lbox, left, clipQueries(queries, lbox)),
+			b.split(rbox, right, clipQueries(queries, rbox)),
+		},
+	}
+}
+
+// CutCost is a candidate cut with its immediate workload cost.
+type CutCost struct {
+	Cut  Cut
+	Cost int64
+}
+
+// BestCut finds the cost-minimising axis-parallel cut over the Qd-tree
+// candidate set (query lower/upper bounds on every dimension) plus any extra
+// candidate cuts, subject to both children holding at least minRows rows.
+func BestCut(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box, extra []Cut, minRows int) (Cut, int64, bool) {
+	top := TopCuts(data, box, rows, queries, extra, minRows, 1)
+	if len(top) == 0 {
+		return Cut{}, 0, false
+	}
+	return top[0].Cut, top[0].Cost, true
+}
+
+// TopCuts returns the k cheapest admissible cuts (ascending by cost) over
+// the Qd-tree candidate set plus the extra cuts. Beam-search construction
+// uses k > 1 to branch on near-optimal alternatives.
+//
+// All queries must intersect box. The evaluation exploits that a cut only
+// changes dimension dim: the left child intersects query q iff
+// q.Lo[dim] <= LeftHi, the right child iff q.Hi[dim] >= RightLo. Sorting row
+// values and query bounds once per dimension makes each candidate O(log n)
+// instead of O(rows + queries).
+func TopCuts(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box, extra []Cut, minRows, k int) []CutCost {
+	if k < 1 {
+		k = 1
+	}
+	dims := box.Dims()
+	total := len(rows)
+	nq := len(queries)
+	var top []CutCost // ascending by cost, at most k entries
+	rowVals := make([]float64, total)
+	qLo := make([]float64, nq)
+	qHi := make([]float64, nq)
+	extraByDim := make(map[int][]Cut, len(extra))
+	for _, c := range extra {
+		extraByDim[c.Dim] = append(extraByDim[c.Dim], c)
+	}
+	seen := make(map[Cut]bool)
+	for dim := 0; dim < dims; dim++ {
+		for i, r := range rows {
+			rowVals[i] = data.At(r, dim)
+		}
+		sort.Float64s(rowVals)
+		for i, q := range queries {
+			qLo[i] = q.Lo[dim]
+			qHi[i] = q.Hi[dim]
+		}
+		sort.Float64s(qLo)
+		sort.Float64s(qHi)
+		try := func(c Cut) {
+			if !c.Inside(box) || seen[c] {
+				return
+			}
+			seen[c] = true
+			leftRows := countLE(rowVals, c.LeftHi)
+			rightRows := total - leftRows
+			if leftRows < minRows || rightRows < minRows {
+				return
+			}
+			nQL := countLE(qLo, c.LeftHi)       // queries reaching the left child
+			nQR := nq - countLT(qHi, c.RightLo) // queries reaching the right child
+			cost := int64(leftRows)*int64(nQL) + int64(rightRows)*int64(nQR)
+			// Insert into the bounded, sorted top list.
+			if len(top) == k && cost >= top[k-1].Cost {
+				return
+			}
+			pos := sort.Search(len(top), func(i int) bool { return top[i].Cost > cost })
+			top = append(top, CutCost{})
+			copy(top[pos+1:], top[pos:])
+			top[pos] = CutCost{Cut: c, Cost: cost}
+			if len(top) > k {
+				top = top[:k]
+			}
+		}
+		for i := 0; i < nq; i++ {
+			try(CutAtLower(dim, queries[i].Lo[dim]))
+			try(CutAtUpper(dim, queries[i].Hi[dim]))
+		}
+		for _, c := range extraByDim[dim] {
+			try(c)
+		}
+	}
+	return top
+}
+
+// countLE returns the number of sorted values <= x.
+func countLE(sorted []float64, x float64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] > x })
+}
+
+// countLT returns the number of sorted values < x.
+func countLT(sorted []float64, x float64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+}
+
+// SplitRows divides row indices according to the cut's boundary ownership.
+func SplitRows(data *dataset.Dataset, rows []int, c Cut) (left, right []int) {
+	for _, r := range rows {
+		if data.At(r, c.Dim) <= c.LeftHi {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}
+
+func clipQueries(queries []geom.Box, box geom.Box) []geom.Box {
+	var out []geom.Box
+	for _, q := range queries {
+		if inter, ok := q.Intersection(box); ok {
+			out = append(out, inter)
+		}
+	}
+	return out
+}
+
+func leaf(box geom.Box, rows []int) *layout.Node {
+	d := layout.NewRect(box)
+	return &layout.Node{Desc: d, Part: &layout.Partition{Desc: d, SampleRows: rows}}
+}

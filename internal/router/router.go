@@ -1,0 +1,167 @@
+// Package router implements the master node of the PAW query framework
+// (Fig. 4): it keeps the partition layout's descriptors (plus optional
+// precise descriptors and storage-tuner extras) in memory, rewrites incoming
+// SQL queries into range queries, and computes the union list of partition
+// IDs the storage layer must scan.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/sqlrew"
+)
+
+// Master is the in-memory query-routing state of the cluster's master node.
+type Master struct {
+	layout   *layout.Layout
+	extras   layout.Extras
+	rewriter *sqlrew.Rewriter
+	recorder func(geom.Box)
+}
+
+// SetRecorder installs a callback invoked with every routed range query —
+// typically (*workload.Log).Record, so the history that future layout
+// rebuilds and δ′ estimation need accumulates as a side effect of serving
+// queries. Pass nil to stop recording.
+func (m *Master) SetRecorder(rec func(geom.Box)) { m.recorder = rec }
+
+// NewMaster wires a routed layout with a SQL schema. columns maps query
+// dimensions to SQL column names, in dimension order.
+func NewMaster(l *layout.Layout, columns []string) (*Master, error) {
+	rw, err := sqlrew.New(columns)
+	if err != nil {
+		return nil, err
+	}
+	return &Master{layout: l, rewriter: rw}, nil
+}
+
+// SetExtras installs (or clears) the storage tuner's redundant partitions.
+func (m *Master) SetExtras(extras layout.Extras) { m.extras = extras }
+
+// Layout exposes the routed layout.
+func (m *Master) Layout() *layout.Layout { return m.layout }
+
+// RangePlan is the routing decision for one rewritten range query.
+type RangePlan struct {
+	// Range is the rewritten range query.
+	Range geom.Box
+	// Extra is the index of the extra partition answering this range, or
+	// -1 when the base layout serves it.
+	Extra int
+	// Parts lists the base partitions to scan (empty when Extra >= 0).
+	Parts []layout.ID
+}
+
+// Plan is the full routing decision for one SQL query.
+type Plan struct {
+	Ranges []RangePlan
+}
+
+// PartitionIDs returns the deduplicated, sorted union of base partitions
+// over all sub-queries — the ID list the master ships to the storage layer.
+func (p Plan) PartitionIDs() []layout.ID {
+	seen := make(map[layout.ID]bool)
+	var out []layout.ID
+	for _, r := range p.Ranges {
+		for _, id := range r.Parts {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CostBytes returns the plan's total I/O cost: extra partitions for ranges
+// they serve, base partitions (deduplicated) for the rest.
+func (p Plan) CostBytes(l *layout.Layout, extras layout.Extras) int64 {
+	var total int64
+	for _, r := range p.Ranges {
+		if r.Extra >= 0 {
+			total += extras[r.Extra].Bytes()
+		}
+	}
+	for _, id := range p.PartitionIDs() {
+		total += l.Parts[id].Bytes()
+	}
+	return total
+}
+
+// RouteSQL rewrites a SQL statement and routes every resulting range.
+func (m *Master) RouteSQL(stmt string) (Plan, error) {
+	ranges, err := m.rewriter.RewriteSQL(stmt)
+	if err != nil {
+		return Plan{}, err
+	}
+	return m.routeRanges(ranges)
+}
+
+// RouteWhere rewrites a bare WHERE clause and routes every resulting range.
+func (m *Master) RouteWhere(where string) (Plan, error) {
+	ranges, err := m.rewriter.Rewrite(where)
+	if err != nil {
+		return Plan{}, err
+	}
+	return m.routeRanges(ranges)
+}
+
+// RouteRange routes a single pre-built range query.
+func (m *Master) RouteRange(q geom.Box) (Plan, error) {
+	return m.routeRanges([]geom.Box{q})
+}
+
+func (m *Master) routeRanges(ranges []geom.Box) (Plan, error) {
+	var plan Plan
+	for _, q := range ranges {
+		if q.Dims() != m.rewriter.Dims() {
+			return Plan{}, fmt.Errorf("router: query has %d dims, schema has %d", q.Dims(), m.rewriter.Dims())
+		}
+		if m.recorder != nil {
+			m.recorder(q)
+		}
+		rp := RangePlan{Range: q, Extra: -1}
+		// Extra partitions first (§V-B): a range fully inside an extra is
+		// answered from the cheapest covering copy.
+		best := int64(-1)
+		for i, e := range m.extras {
+			if e.Box.ContainsBox(q) {
+				if b := e.Bytes(); best < 0 || b < best {
+					best = b
+					rp.Extra = i
+				}
+			}
+		}
+		if rp.Extra < 0 {
+			rp.Parts = m.layout.PartitionsFor(q)
+		}
+		plan.Ranges = append(plan.Ranges, rp)
+	}
+	return plan, nil
+}
+
+// MemoryFootprint returns the master's in-memory metadata size in bytes:
+// 16·dmax per rectangular descriptor bound pair, the same per irregular
+// region box, per precise-descriptor MBR and per extra partition. This is
+// the quantity §V-A argues is negligible next to partition sizes.
+func (m *Master) MemoryFootprint() int64 {
+	perBox := int64(m.rewriter.Dims()) * 16
+	var total int64
+	for _, p := range m.layout.Parts {
+		switch d := p.Desc.(type) {
+		case layout.Rect:
+			total += perBox
+		case layout.Irregular:
+			total += perBox * int64(1+len(d.Holes))
+		default:
+			total += perBox
+		}
+		total += perBox * int64(len(p.Precise))
+	}
+	total += perBox * int64(len(m.extras))
+	return total
+}

@@ -1,0 +1,250 @@
+// Package rtree provides a Sort-Tile-Recursive (STR) bulk-loaded R-tree over
+// points, plus the k-MBR extraction the precise-descriptor plugin (§V-A)
+// uses: "we adopt the R-tree construction algorithm to extract a given
+// number of MBRs from a partition".
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+)
+
+// Tree is an immutable, bulk-loaded R-tree over a point set. Leaves store
+// indices into the point set supplied at load time.
+type Tree struct {
+	root *node
+	dims int
+	size int
+}
+
+type node struct {
+	mbr      geom.Box
+	children []*node
+	points   []int // leaf payload: indices into the source point accessor
+}
+
+// PointSource abstracts the point storage so trees can be built over
+// dataset rows without materialising geom.Points.
+type PointSource interface {
+	Dims() int
+	// Coord returns coordinate dim of item i.
+	Coord(i, dim int) float64
+}
+
+// DatasetSource adapts dataset rows as a PointSource.
+type DatasetSource struct {
+	Data *dataset.Dataset
+	Rows []int
+}
+
+// Dims implements PointSource.
+func (s DatasetSource) Dims() int { return s.Data.Dims() }
+
+// Coord implements PointSource.
+func (s DatasetSource) Coord(i, dim int) float64 { return s.Data.At(s.Rows[i], dim) }
+
+// Len returns the number of points.
+func (s DatasetSource) Len() int { return len(s.Rows) }
+
+// BulkLoad packs n points from src into an R-tree with the given leaf
+// capacity using STR: sort by the first dimension, cut into vertical slabs,
+// recursively tile the remaining dimensions inside each slab, and build the
+// upper levels by re-packing node MBRs the same way.
+func BulkLoad(src PointSource, n, leafCap int) *Tree {
+	if leafCap < 1 {
+		leafCap = 64
+	}
+	t := &Tree{dims: src.Dims(), size: n}
+	if n == 0 {
+		return t
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tiles := strTile(src, idx, leafCap, 0)
+	leaves := make([]*node, len(tiles))
+	for i, tile := range tiles {
+		leaves[i] = &node{mbr: mbrOf(src, tile), points: tile}
+	}
+	t.root = packUpward(leaves, leafCap)
+	return t
+}
+
+// strTile recursively partitions idx into tiles of at most cap points, using
+// dimension dim at this level.
+func strTile(src PointSource, idx []int, cap, dim int) [][]int {
+	if len(idx) <= cap {
+		return [][]int{idx}
+	}
+	dims := src.Dims()
+	nTiles := (len(idx) + cap - 1) / cap
+	// Number of slabs along this dimension: the (dims-dim)-th root of the
+	// tile count, so the tiling is balanced across remaining dimensions.
+	remaining := dims - dim
+	var slabs int
+	if remaining <= 1 {
+		slabs = nTiles
+	} else {
+		slabs = int(math.Ceil(math.Pow(float64(nTiles), 1/float64(remaining))))
+	}
+	if slabs < 1 {
+		slabs = 1
+	}
+	sort.Slice(idx, func(a, b int) bool { return src.Coord(idx[a], dim) < src.Coord(idx[b], dim) })
+	per := (len(idx) + slabs - 1) / slabs
+	var out [][]int
+	for s := 0; s < len(idx); s += per {
+		e := s + per
+		if e > len(idx) {
+			e = len(idx)
+		}
+		slab := idx[s:e]
+		if remaining <= 1 {
+			out = append(out, slab)
+		} else {
+			out = append(out, strTile(src, slab, cap, dim+1)...)
+		}
+	}
+	return out
+}
+
+func mbrOf(src PointSource, idx []int) geom.Box {
+	dims := src.Dims()
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for d := 0; d < dims; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	for _, i := range idx {
+		for d := 0; d < dims; d++ {
+			v := src.Coord(i, d)
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+// packUpward groups nodes into parents of at most cap children until one
+// root remains. Nodes are packed in their existing (tiled) order, which STR
+// already made spatially coherent.
+func packUpward(nodes []*node, cap int) *node {
+	for len(nodes) > 1 {
+		var parents []*node
+		for s := 0; s < len(nodes); s += cap {
+			e := s + cap
+			if e > len(nodes) {
+				e = len(nodes)
+			}
+			group := nodes[s:e]
+			boxes := make([]geom.Box, len(group))
+			for i, g := range group {
+				boxes[i] = g.mbr
+			}
+			parents = append(parents, &node{mbr: geom.MBR(boxes...), children: append([]*node(nil), group...)})
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf, 0 for empty).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if len(n.children) == 0 {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Search returns the indices of all points inside the closed query box. The
+// caller supplies the same PointSource used at load time.
+func (t *Tree) Search(src PointSource, q geom.Box) []int {
+	var out []int
+	if t.root == nil {
+		return out
+	}
+	dims := t.dims
+	var rec func(n *node)
+	rec = func(n *node) {
+		if !n.mbr.Intersects(q) {
+			return
+		}
+		if len(n.children) == 0 {
+			for _, i := range n.points {
+				inside := true
+				for d := 0; d < dims; d++ {
+					v := src.Coord(i, d)
+					if v < q.Lo[d] || v > q.Hi[d] {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					out = append(out, i)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return out
+}
+
+// MBR returns the root MBR; the zero Box for an empty tree.
+func (t *Tree) MBR() geom.Box {
+	if t.root == nil {
+		return geom.Box{}
+	}
+	return t.root.mbr
+}
+
+// ExtractMBRs tiles the points into at most k spatially coherent groups and
+// returns each group's MBR — the precise descriptor of §V-A. Every point is
+// covered by exactly one MBR. k <= 1 returns the single overall MBR.
+func ExtractMBRs(src PointSource, n, k int) []geom.Box {
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k <= 1 {
+		return []geom.Box{mbrOf(src, idx)}
+	}
+	cap := (n + k - 1) / k
+	tiles := strTile(src, idx, cap, 0)
+	// strTile can produce slightly more tiles than k due to ceiling
+	// effects; merge the smallest trailing tiles to respect the budget
+	// (the descriptor size is what the master's memory accounting uses).
+	for len(tiles) > k {
+		last := tiles[len(tiles)-1]
+		tiles = tiles[:len(tiles)-1]
+		tiles[len(tiles)-1] = append(tiles[len(tiles)-1], last...)
+	}
+	out := make([]geom.Box, len(tiles))
+	for i, tile := range tiles {
+		out[i] = mbrOf(src, tile)
+	}
+	return out
+}

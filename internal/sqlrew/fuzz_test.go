@@ -1,0 +1,43 @@
+package sqlrew
+
+import "testing"
+
+// FuzzRewrite asserts the lexer/parser/rewriter never panic on arbitrary
+// input and that accepted clauses always yield interiorly disjoint boxes.
+func FuzzRewrite(f *testing.F) {
+	seeds := []string{
+		"A >= 10 AND B <= 50",
+		"A >= 10 OR B <= 50",
+		"x BETWEEN 3 AND 7",
+		"NOT (a > 5) OR b <> 2",
+		"((((a=1))))",
+		"a >= 1e308 AND a <= -1e308",
+		"a b c d",
+		"AND OR NOT BETWEEN",
+		">>><<<===",
+		"a >= 5 anD a <= 6 Or b = 0.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	r, err := New([]string{"a", "b", "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, clause string) {
+		boxes, err := r.Rewrite(clause)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for i := range boxes {
+			if boxes[i].Dims() != 3 {
+				t.Fatalf("box with %d dims from %q", boxes[i].Dims(), clause)
+			}
+			for j := i + 1; j < len(boxes); j++ {
+				if inter, ok := boxes[i].Intersection(boxes[j]); ok && inter.Volume() > 0 {
+					t.Fatalf("overlapping boxes from %q", clause)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package sqlrew
+
+import "fmt"
+
+// The AST is deliberately small: boolean structure over atomic comparisons.
+type expr interface{ isExpr() }
+
+type orExpr struct{ terms []expr }
+type andExpr struct{ factors []expr }
+type notExpr struct{ inner expr }
+
+// pred is an atomic comparison col OP value, with OP one of
+// >=, <=, >, <, =, <>.
+type pred struct {
+	col string
+	op  string
+	val float64
+}
+
+func (orExpr) isExpr()  {}
+func (andExpr) isExpr() {}
+func (notExpr) isExpr() {}
+func (pred) isExpr()    {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(s string) (expr, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlrew: unexpected %s at position %d", p.peek(), p.peek().pos)
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.peek().kind != kind {
+		return token{}, fmt.Errorf("sqlrew: expected %s, found %s at position %d", what, p.peek(), p.peek().pos)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseOr() (expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []expr{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return orExpr{terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	factors := []expr{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	if len(factors) == 1 {
+		return first, nil
+	}
+	return andExpr{factors: factors}, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return p.parsePredicate()
+	}
+}
+
+// parsePredicate accepts `col OP number`, `number OP col`, and
+// `col BETWEEN a AND b`.
+func (p *parser) parsePredicate() (expr, error) {
+	switch p.peek().kind {
+	case tokIdent:
+		col := p.next().text
+		switch p.peek().kind {
+		case tokBetween:
+			p.next()
+			lo, err := p.expect(tokNumber, "number")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokAnd, "AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.expect(tokNumber, "number")
+			if err != nil {
+				return nil, err
+			}
+			return andExpr{factors: []expr{
+				pred{col: col, op: ">=", val: lo.num},
+				pred{col: col, op: "<=", val: hi.num},
+			}}, nil
+		case tokOp:
+			op := p.next().text
+			v, err := p.expect(tokNumber, "number")
+			if err != nil {
+				return nil, err
+			}
+			return pred{col: col, op: op, val: v.num}, nil
+		default:
+			return nil, fmt.Errorf("sqlrew: expected comparison after column %q at position %d", col, p.peek().pos)
+		}
+	case tokNumber:
+		v := p.next()
+		op, err := p.expect(tokOp, "comparison operator")
+		if err != nil {
+			return nil, err
+		}
+		colTok, err := p.expect(tokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		return pred{col: colTok.text, op: flipOp(op.text), val: v.num}, nil
+	default:
+		return nil, fmt.Errorf("sqlrew: expected predicate, found %s at position %d", p.peek(), p.peek().pos)
+	}
+}
+
+// flipOp mirrors an operator across its operands: 10 <= A means A >= 10.
+func flipOp(op string) string {
+	switch op {
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	default: // = and <> are symmetric
+		return op
+	}
+}
+
+// pushNot eliminates NOT nodes by De Morgan's laws and operator negation.
+func pushNot(e expr, negated bool) expr {
+	switch v := e.(type) {
+	case notExpr:
+		return pushNot(v.inner, !negated)
+	case andExpr:
+		out := make([]expr, len(v.factors))
+		for i, f := range v.factors {
+			out[i] = pushNot(f, negated)
+		}
+		if negated {
+			return orExpr{terms: out}
+		}
+		return andExpr{factors: out}
+	case orExpr:
+		out := make([]expr, len(v.terms))
+		for i, t := range v.terms {
+			out[i] = pushNot(t, negated)
+		}
+		if negated {
+			return andExpr{factors: out}
+		}
+		return orExpr{terms: out}
+	case pred:
+		if !negated {
+			return v
+		}
+		return negatePred(v)
+	default:
+		panic(fmt.Sprintf("sqlrew: unknown expr %T", e))
+	}
+}
+
+func negatePred(p pred) expr {
+	switch p.op {
+	case ">=":
+		return pred{col: p.col, op: "<", val: p.val}
+	case "<=":
+		return pred{col: p.col, op: ">", val: p.val}
+	case ">":
+		return pred{col: p.col, op: "<=", val: p.val}
+	case "<":
+		return pred{col: p.col, op: ">=", val: p.val}
+	case "=":
+		return pred{col: p.col, op: "<>", val: p.val}
+	case "<>":
+		return pred{col: p.col, op: "=", val: p.val}
+	default:
+		panic(fmt.Sprintf("sqlrew: unknown operator %q", p.op))
+	}
+}
+
+// toDNF converts a NOT-free expression into a disjunction of conjunctions of
+// atomic predicates. Inequality (<>) predicates are expanded into two
+// disjuncts first.
+func toDNF(e expr) [][]pred {
+	switch v := e.(type) {
+	case pred:
+		if v.op == "<>" {
+			return [][]pred{
+				{{col: v.col, op: "<", val: v.val}},
+				{{col: v.col, op: ">", val: v.val}},
+			}
+		}
+		return [][]pred{{v}}
+	case orExpr:
+		var out [][]pred
+		for _, t := range v.terms {
+			out = append(out, toDNF(t)...)
+		}
+		return out
+	case andExpr:
+		// Cross-product of the factors' DNFs.
+		out := [][]pred{{}}
+		for _, f := range v.factors {
+			fd := toDNF(f)
+			var next [][]pred
+			for _, conj := range out {
+				for _, fc := range fd {
+					merged := make([]pred, 0, len(conj)+len(fc))
+					merged = append(merged, conj...)
+					merged = append(merged, fc...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sqlrew: NOT should have been eliminated, found %T", e))
+	}
+}

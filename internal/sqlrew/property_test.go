@@ -1,0 +1,147 @@
+package sqlrew
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"paw/internal/geom"
+)
+
+// randExpr generates a random predicate tree, returning both its SQL text
+// and a direct evaluator — the oracle the parser+rewriter must agree with.
+func randExpr(rng *rand.Rand, cols []string, depth int) (string, func([]float64) bool) {
+	if depth <= 0 || rng.Float64() < 0.4 {
+		// Leaf: a comparison on a random column with a value in [0, 10].
+		c := rng.Intn(len(cols))
+		v := float64(rng.Intn(101)) / 10
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("%s >= %g", cols[c], v), func(x []float64) bool { return x[c] >= v }
+		case 1:
+			return fmt.Sprintf("%s <= %g", cols[c], v), func(x []float64) bool { return x[c] <= v }
+		case 2:
+			return fmt.Sprintf("%s > %g", cols[c], v), func(x []float64) bool { return x[c] > v }
+		case 3:
+			return fmt.Sprintf("%s < %g", cols[c], v), func(x []float64) bool { return x[c] < v }
+		case 4:
+			return fmt.Sprintf("%s = %g", cols[c], v), func(x []float64) bool { return x[c] == v }
+		default:
+			lo := float64(rng.Intn(101)) / 10
+			hi := lo + float64(rng.Intn(41))/10
+			return fmt.Sprintf("%s BETWEEN %g AND %g", cols[c], lo, hi),
+				func(x []float64) bool { return x[c] >= lo && x[c] <= hi }
+		}
+	}
+	switch rng.Intn(3) {
+	case 0: // AND
+		ls, lf := randExpr(rng, cols, depth-1)
+		rs, rf := randExpr(rng, cols, depth-1)
+		return fmt.Sprintf("(%s AND %s)", ls, rs), func(x []float64) bool { return lf(x) && rf(x) }
+	case 1: // OR
+		ls, lf := randExpr(rng, cols, depth-1)
+		rs, rf := randExpr(rng, cols, depth-1)
+		return fmt.Sprintf("(%s OR %s)", ls, rs), func(x []float64) bool { return lf(x) || rf(x) }
+	default: // NOT
+		s, f := randExpr(rng, cols, depth-1)
+		return fmt.Sprintf("NOT (%s)", s), func(x []float64) bool { return !f(x) }
+	}
+}
+
+// TestRandomClausesSemantics: for hundreds of random predicate trees, the
+// rewritten disjoint range set must classify random points exactly like
+// direct evaluation, and the ranges must be pairwise interior-disjoint.
+func TestRandomClausesSemantics(t *testing.T) {
+	cols := []string{"a", "b", "c"}
+	r, err := New(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		sql, eval := randExpr(rng, cols, 3)
+		boxes, err := r.Rewrite(sql)
+		if err != nil {
+			t.Fatalf("clause %q failed to parse: %v", sql, err)
+		}
+		for i := range boxes {
+			for j := i + 1; j < len(boxes); j++ {
+				if inter, ok := boxes[i].Intersection(boxes[j]); ok && inter.Volume() > 0 {
+					t.Fatalf("clause %q: boxes %d and %d overlap", sql, i, j)
+				}
+			}
+		}
+		for k := 0; k < 60; k++ {
+			x := []float64{
+				float64(rng.Intn(101)) / 10, // grid points hit the literals
+				float64(rng.Intn(101)) / 10,
+				float64(rng.Intn(101)) / 10,
+			}
+			want := eval(x)
+			got := false
+			for _, b := range boxes {
+				if b.Contains(geom.Point(x)) {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("clause %q at %v: rewrite says %v, evaluator says %v\nboxes: %v",
+					sql, x, got, want, boxes)
+			}
+		}
+	}
+}
+
+// TestDeepNesting exercises the parser's recursion on a mechanically built,
+// deeply parenthesised clause.
+func TestDeepNesting(t *testing.T) {
+	r, err := New([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clause := "x >= 5"
+	for i := 0; i < 200; i++ {
+		clause = "(" + clause + ")"
+	}
+	boxes, err := r.Rewrite(clause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boxes) != 1 || boxes[0].Lo[0] != 5 {
+		t.Errorf("deeply nested clause rewrote to %v", boxes)
+	}
+}
+
+// TestManyDisjuncts: a long OR chain produces many disjoint boxes whose
+// union is still correct.
+func TestManyDisjuncts(t *testing.T) {
+	r, err := New([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for i := 0; i < 50; i++ {
+		parts = append(parts, fmt.Sprintf("(x >= %d AND x <= %g)", 2*i, float64(2*i)+0.5))
+	}
+	boxes, err := r.Rewrite(strings.Join(parts, " OR "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boxes) != 50 {
+		t.Fatalf("got %d boxes, want 50 (inputs are already disjoint)", len(boxes))
+	}
+	for i := 0; i < 100; i++ {
+		in := false
+		for _, b := range boxes {
+			if b.Contains(geom.Point{float64(i)}) {
+				in = true
+				break
+			}
+		}
+		if in != (i%2 == 0) {
+			t.Fatalf("x=%d classified %v", i, in)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sqlrew
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"paw/internal/geom"
+)
+
+// Rewriter converts WHERE clauses over a fixed numeric schema into range
+// queries (Fig. 4, step 1).
+type Rewriter struct {
+	cols map[string]int
+	dims int
+}
+
+// New builds a rewriter for the given column names; the i-th name maps to
+// query dimension i. Matching is case-insensitive.
+func New(columns []string) (*Rewriter, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("sqlrew: empty schema")
+	}
+	m := make(map[string]int, len(columns))
+	for i, c := range columns {
+		key := strings.ToLower(c)
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("sqlrew: duplicate column %q", c)
+		}
+		m[key] = i
+	}
+	return &Rewriter{cols: m, dims: len(columns)}, nil
+}
+
+// Rewrite parses the WHERE clause and returns the equivalent set of
+// *disjoint* range queries: later disjuncts are geometrically subtracted
+// from earlier ones, as in the paper's OR example (§III-B). Unconstrained
+// dimensions are unbounded (±Inf). An empty clause means "everything" and
+// yields one universe box.
+func (r *Rewriter) Rewrite(where string) ([]geom.Box, error) {
+	if strings.TrimSpace(where) == "" {
+		return []geom.Box{geom.UniverseBox(r.dims)}, nil
+	}
+	ast, err := parse(where)
+	if err != nil {
+		return nil, err
+	}
+	dnf := toDNF(pushNot(ast, false))
+	var raw []geom.Box
+	for _, conj := range dnf {
+		box, ok, err := r.conjToBox(conj)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			raw = append(raw, box)
+		}
+	}
+	// Disjointify: each disjunct minus the union of its predecessors.
+	var out []geom.Box
+	for i, b := range raw {
+		pieces := geom.SubtractAll(b, raw[:i])
+		out = append(out, pieces...)
+	}
+	return out, nil
+}
+
+// RewriteSQL accepts a full "SELECT ... FROM ... [WHERE ...]" statement and
+// rewrites its WHERE clause (everything after the last top-level WHERE
+// keyword). Statements without WHERE scan everything.
+func (r *Rewriter) RewriteSQL(stmt string) ([]geom.Box, error) {
+	upper := strings.ToUpper(stmt)
+	idx := strings.LastIndex(upper, "WHERE")
+	if idx < 0 {
+		return []geom.Box{geom.UniverseBox(r.dims)}, nil
+	}
+	return r.Rewrite(stmt[idx+len("WHERE"):])
+}
+
+// conjToBox intersects a conjunction of predicates into a single box; ok is
+// false when the conjunction is unsatisfiable.
+func (r *Rewriter) conjToBox(conj []pred) (geom.Box, bool, error) {
+	box := geom.UniverseBox(r.dims)
+	for _, p := range conj {
+		dim, ok := r.cols[strings.ToLower(p.col)]
+		if !ok {
+			return geom.Box{}, false, fmt.Errorf("sqlrew: unknown column %q", p.col)
+		}
+		switch p.op {
+		case ">=":
+			box.Lo[dim] = math.Max(box.Lo[dim], p.val)
+		case ">":
+			box.Lo[dim] = math.Max(box.Lo[dim], math.Nextafter(p.val, math.Inf(1)))
+		case "<=":
+			box.Hi[dim] = math.Min(box.Hi[dim], p.val)
+		case "<":
+			box.Hi[dim] = math.Min(box.Hi[dim], math.Nextafter(p.val, math.Inf(-1)))
+		case "=":
+			box.Lo[dim] = math.Max(box.Lo[dim], p.val)
+			box.Hi[dim] = math.Min(box.Hi[dim], p.val)
+		default:
+			return geom.Box{}, false, fmt.Errorf("sqlrew: operator %q must not reach box conversion", p.op)
+		}
+	}
+	if box.IsEmpty() {
+		return geom.Box{}, false, nil
+	}
+	return box, true, nil
+}
+
+// Dims returns the schema dimensionality.
+func (r *Rewriter) Dims() int { return r.dims }

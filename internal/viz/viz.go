@@ -1,0 +1,118 @@
+// Package viz renders 2-d partition layouts with query workloads, in SVG
+// and ASCII — the case-study pictures of the paper's Figures 13–14:
+// partition boundaries in green, query regions in red, irregular-partition
+// regions tinted.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+// PartitionBoxes returns the rectangles to draw for a partition: the box of
+// a rectangular descriptor, or the region decomposition of an irregular one.
+func PartitionBoxes(p *layout.Partition) []geom.Box {
+	switch d := p.Desc.(type) {
+	case layout.Rect:
+		return []geom.Box{d.Box}
+	case layout.Irregular:
+		var out []geom.Box
+		for _, h := range d.Region().Boxes() {
+			out = append(out, h.Box)
+		}
+		return out
+	default:
+		return []geom.Box{p.Desc.MBR()}
+	}
+}
+
+// SVG renders the layout and workload into an SVG document of the given
+// pixel size. Only the first two dimensions are drawn.
+func SVG(l *layout.Layout, w workload.Workload, dom geom.Box, width, height int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	sx := func(x float64) float64 { return (x - dom.Lo[0]) / (dom.Hi[0] - dom.Lo[0]) * float64(width) }
+	sy := func(y float64) float64 { return float64(height) - (y-dom.Lo[1])/(dom.Hi[1]-dom.Lo[1])*float64(height) }
+	box := func(b geom.Box, stroke, fill string, sw float64) {
+		if b.IsEmpty() {
+			return
+		}
+		x, y := sx(b.Lo[0]), sy(b.Hi[1])
+		bw, bh := sx(b.Hi[0])-sx(b.Lo[0]), sy(b.Lo[1])-sy(b.Hi[1])
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" stroke="%s" fill="%s" stroke-width="%.1f"/>`+"\n",
+			x, y, bw, bh, stroke, fill, sw)
+	}
+	for _, p := range l.Parts {
+		fill := "none"
+		if p.Desc.Kind() == layout.KindIrregular {
+			fill = "#e8f8e8"
+		}
+		for _, b := range PartitionBoxes(p) {
+			box(b.Clip(dom), "green", fill, 1.2)
+		}
+	}
+	for _, q := range w {
+		box(q.Box.Clip(dom), "red", "none", 1.8)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// ASCII renders the layout ('+' outlines) and workload ('#' outlines) into a
+// character grid.
+func ASCII(l *layout.Layout, w workload.Workload, dom geom.Box, width, height int) string {
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	cx := func(x float64) int {
+		return clampInt(int((x-dom.Lo[0])/(dom.Hi[0]-dom.Lo[0])*float64(width-1)), 0, width-1)
+	}
+	cy := func(y float64) int {
+		return clampInt(int((dom.Hi[1]-y)/(dom.Hi[1]-dom.Lo[1])*float64(height-1)), 0, height-1)
+	}
+	outline := func(b geom.Box, ch byte) {
+		if b.IsEmpty() {
+			return
+		}
+		x0, x1 := cx(b.Lo[0]), cx(b.Hi[0])
+		y0, y1 := cy(b.Hi[1]), cy(b.Lo[1])
+		for x := x0; x <= x1; x++ {
+			grid[y0][x] = ch
+			grid[y1][x] = ch
+		}
+		for y := y0; y <= y1; y++ {
+			grid[y][x0] = ch
+			grid[y][x1] = ch
+		}
+	}
+	for _, p := range l.Parts {
+		for _, b := range PartitionBoxes(p) {
+			outline(b.Clip(dom), '+')
+		}
+	}
+	for _, q := range w {
+		outline(q.Box.Clip(dom), '#')
+	}
+	lines := make([]string, height)
+	for i, row := range grid {
+		lines[i] = string(row)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

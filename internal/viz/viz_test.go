@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"paw/internal/core"
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+func buildPAW(t *testing.T) (*layout.Layout, workload.Workload, geom.Box) {
+	t.Helper()
+	data := dataset.Uniform(4000, 2, 1)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(10, 2))
+	rows := make([]int, 4000)
+	for i := range rows {
+		rows[i] = i
+	}
+	l := core.Build(data, rows, dom, hist, core.Params{MinRows: 60, Delta: 0.01})
+	l.Route(data)
+	return l, hist, dom
+}
+
+func TestSVGStructure(t *testing.T) {
+	l, hist, dom := buildPAW(t)
+	svg := SVG(l, hist, dom, 400, 400)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	greens := strings.Count(svg, `stroke="green"`)
+	reds := strings.Count(svg, `stroke="red"`)
+	if greens < l.NumPartitions() {
+		t.Errorf("drew %d partition rects for %d partitions", greens, l.NumPartitions())
+	}
+	if reds != len(hist) {
+		t.Errorf("drew %d query rects for %d queries", reds, len(hist))
+	}
+	// Irregular partitions get the tinted fill.
+	irr := 0
+	for _, p := range l.Parts {
+		if p.Desc.Kind() == layout.KindIrregular {
+			irr++
+		}
+	}
+	if irr > 0 && !strings.Contains(svg, "#e8f8e8") {
+		t.Error("irregular partitions must be tinted")
+	}
+}
+
+func TestASCIIStructure(t *testing.T) {
+	l, hist, dom := buildPAW(t)
+	art := ASCII(l, hist, dom, 80, 24)
+	lines := strings.Split(art, "\n")
+	if len(lines) != 24 {
+		t.Fatalf("grid has %d lines", len(lines))
+	}
+	for i, ln := range lines {
+		if len(ln) != 80 {
+			t.Fatalf("line %d has width %d", i, len(ln))
+		}
+	}
+	if !strings.Contains(art, "+") {
+		t.Error("no partition outlines drawn")
+	}
+	if !strings.Contains(art, "#") {
+		t.Error("no query outlines drawn")
+	}
+}
+
+func TestPartitionBoxes(t *testing.T) {
+	r := layout.NewRect(geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{1, 1}})
+	if got := PartitionBoxes(&layout.Partition{Desc: r}); len(got) != 1 {
+		t.Errorf("rect yields %d boxes", len(got))
+	}
+	ir := layout.NewIrregular(
+		geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{10, 10}},
+		[]geom.Box{{Lo: geom.Point{4, 4}, Hi: geom.Point{6, 6}}},
+	)
+	if got := PartitionBoxes(&layout.Partition{Desc: ir}); len(got) < 2 {
+		t.Errorf("irregular region yields %d boxes", len(got))
+	}
+}
+
+func TestQueriesOutsideDomainClipped(t *testing.T) {
+	l, _, dom := buildPAW(t)
+	w := workload.Workload{{Box: geom.Box{Lo: geom.Point{5, 5}, Hi: geom.Point{6, 6}}}}
+	// Must not panic or draw out-of-range coordinates.
+	svg := SVG(l, w, dom, 100, 100)
+	if strings.Count(svg, `stroke="red"`) != 0 {
+		t.Error("fully out-of-domain query must be clipped away")
+	}
+	_ = ASCII(l, w, dom, 40, 12)
+}

@@ -1,0 +1,110 @@
+package workload
+
+import "math"
+
+// MinAvgDelta computes an alternative workload-similarity measure that the
+// paper leaves as future work (§III-A remark after Definition 2): instead of
+// the bottleneck (max) matched distance, it returns the minimal *average*
+// matched distance between the future and historical workloads, under the
+// same capacity rules as Definition 2 (every future query matched once,
+// every historical query used exactly |QF|/|QH| times).
+//
+// The assignment is solved exactly with the Hungarian algorithm
+// (Jonker–Volgenant potentials variant, O(n³)), so it is intended for
+// workloads up to a few thousand queries. The returned slice maps every
+// future query index to its matched historical query index.
+func MinAvgDelta(hist, future Workload) (float64, []int, error) {
+	if err := checkDivisible(hist, future); err != nil {
+		return 0, nil, err
+	}
+	k := len(future) / len(hist)
+	n := len(future)
+	// Cost matrix over future × (historical replicated k times).
+	cost := make([][]float64, n)
+	for i, qf := range future {
+		row := make([]float64, n)
+		for j, qh := range hist {
+			d := Dist(qf, qh)
+			for c := 0; c < k; c++ {
+				row[j*k+c] = d
+			}
+		}
+		cost[i] = row
+	}
+	assign := hungarian(cost)
+	total := 0.0
+	match := make([]int, n)
+	for i, j := range assign {
+		match[i] = j / k
+		total += cost[i][j]
+	}
+	return total / float64(n), match, nil
+}
+
+// hungarian solves the square assignment problem, returning for each row the
+// assigned column, minimising the total cost. Implementation: the standard
+// O(n³) shortest-augmenting-path algorithm with row/column potentials
+// (Jonker–Volgenant style, 1-indexed internally to use column 0 as the
+// virtual source).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[j]: row assigned to column j (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	out := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] != 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"paw/internal/geom"
+)
+
+func TestHungarianSmall(t *testing.T) {
+	// Known instance: optimal assignment is the anti-diagonal, total 3.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := hungarian(cost)
+	total := 0.0
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("Hungarian total = %v, want 5 (assignment %v)", total, assign)
+	}
+	// The assignment must be a permutation.
+	seen := map[int]bool{}
+	for _, j := range assign {
+		if seen[j] {
+			t.Fatal("assignment is not a permutation")
+		}
+		seen[j] = true
+	}
+}
+
+// TestHungarianMatchesBruteForce enumerates all permutations on small random
+// instances and compares the optimum.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		assign := hungarian(cost)
+		got := 0.0
+		for i, j := range assign {
+			got += cost[i][j]
+		}
+		want := bruteMin(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: Hungarian %v, brute force %v (cost %v)", n, got, want, cost)
+		}
+	}
+}
+
+func bruteMin(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			s := 0.0
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestMinAvgDeltaIdentical(t *testing.T) {
+	dom := geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{100, 100}}
+	w := Uniform(dom, Defaults(20, 3))
+	avg, match, err := MinAvgDelta(w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("identical workloads avg = %v, want 0", avg)
+	}
+	if len(match) != len(w) {
+		t.Errorf("match length %d", len(match))
+	}
+}
+
+// TestMinAvgBelowBottleneck: the min-average matched distance can never
+// exceed the bottleneck value δ′ (under the bottleneck-optimal matching, the
+// average is at most the max; the min-average matching is at least as good).
+func TestMinAvgBelowBottleneck(t *testing.T) {
+	dom := geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{10, 10}}
+	for seed := int64(0); seed < 8; seed++ {
+		a := Uniform(dom, Defaults(12, seed))
+		b := Uniform(dom, Defaults(12, seed+100))
+		avg, _, err := MinAvgDelta(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bottleneck, err := MinimalDelta(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg > bottleneck+1e-9 {
+			t.Errorf("seed %d: min-avg %v above bottleneck %v", seed, avg, bottleneck)
+		}
+	}
+}
+
+func TestMinAvgDeltaCapacities(t *testing.T) {
+	// Ratio 2: every historical query must be used exactly twice.
+	dom := geom.Box{Lo: geom.Point{0, 0}, Hi: geom.Point{100, 100}}
+	hist := Uniform(dom, Defaults(6, 5))
+	fut := Future(hist, 1.0, 2, 6)
+	avg, match, err := MinAvgDelta(hist, fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg > 1.0+1e-9 {
+		t.Errorf("avg %v above the generation bound 1.0", avg)
+	}
+	uses := make([]int, len(hist))
+	for _, h := range match {
+		uses[h]++
+	}
+	for i, u := range uses {
+		if u != 2 {
+			t.Errorf("historical query %d used %d times, want 2", i, u)
+		}
+	}
+	// Divisibility errors.
+	if _, _, err := MinAvgDelta(hist, fut[:7]); err == nil {
+		t.Error("non-divisible sizes must error")
+	}
+}

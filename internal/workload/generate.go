@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math/rand"
+
+	"paw/internal/geom"
+)
+
+// GenParams collects the workload-generator knobs of Table III. Fractions
+// are relative to the domain length of each dimension.
+type GenParams struct {
+	// NumQueries is #Q, the number of queries to generate.
+	NumQueries int
+	// MaxRangeFrac is γ, the maximal query range as a fraction of the
+	// domain length (default 10%).
+	MaxRangeFrac float64
+	// Centers is #C, the number of query centers for the skewed generator
+	// (default 10).
+	Centers int
+	// SigmaFrac is σ, the standard deviation of query centers around their
+	// cluster center, as a fraction of the maximal query range γ·len
+	// (default 10%).
+	SigmaFrac float64
+	// Seed drives all randomness; equal seeds give equal workloads.
+	Seed int64
+}
+
+// Defaults returns the default properties of Table III (γ=10%, #C=10,
+// σ=10% of γ) for the given query count.
+func Defaults(numQueries int, seed int64) GenParams {
+	return GenParams{
+		NumQueries:   numQueries,
+		MaxRangeFrac: 0.10,
+		Centers:      10,
+		SigmaFrac:    0.10,
+		Seed:         seed,
+	}
+}
+
+// Uniform generates queries whose centers are uniform over the domain and
+// whose extents are uniform in (0, γ·len] per dimension ("the uniform
+// generator generates historical queries according to the data domain").
+func Uniform(domain geom.Box, p GenParams) Workload {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make(Workload, p.NumQueries)
+	for i := range out {
+		out[i] = Query{Box: randomQuery(rng, domain, p.MaxRangeFrac), Seq: int64(i)}
+	}
+	return out
+}
+
+// Skewed generates queries from a Gaussian mixture: #C centers are drawn
+// uniformly in the domain, every query picks a center uniformly and places
+// its own center Gaussian-distributed around it with deviation σ·(γ·len)
+// per dimension (Table III).
+func Skewed(domain geom.Box, p GenParams) Workload {
+	rng := rand.New(rand.NewSource(p.Seed))
+	dims := domain.Dims()
+	centers := make([]geom.Point, p.Centers)
+	for i := range centers {
+		c := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			c[d] = domain.Lo[d] + rng.Float64()*(domain.Hi[d]-domain.Lo[d])
+		}
+		centers[i] = c
+	}
+	out := make(Workload, p.NumQueries)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			length := domain.Hi[d] - domain.Lo[d]
+			maxRange := p.MaxRangeFrac * length
+			center := c[d] + rng.NormFloat64()*p.SigmaFrac*maxRange
+			extent := rng.Float64() * maxRange
+			lo[d] = clampTo(center-extent/2, domain.Lo[d], domain.Hi[d])
+			hi[d] = clampTo(center+extent/2, domain.Lo[d], domain.Hi[d])
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		out[i] = Query{Box: geom.Box{Lo: lo, Hi: hi}, Seq: int64(i)}
+	}
+	return out
+}
+
+// Future generates a future workload QF that is δ-similar to hist: every
+// historical query spawns ratio perturbed copies whose bounds each move by
+// at most delta (absolute units). The result size is ratio·|hist|,
+// satisfying Definition 2 by construction.
+func Future(hist Workload, delta float64, ratio int, seed int64) Workload {
+	if ratio < 1 {
+		ratio = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Workload, 0, len(hist)*ratio)
+	seq := int64(0)
+	for _, q := range hist {
+		for r := 0; r < ratio; r++ {
+			b := q.Box.Clone()
+			for d := range b.Lo {
+				b.Lo[d] += (rng.Float64()*2 - 1) * delta
+				b.Hi[d] += (rng.Float64()*2 - 1) * delta
+				if b.Lo[d] > b.Hi[d] {
+					b.Lo[d], b.Hi[d] = b.Hi[d], b.Lo[d]
+				}
+			}
+			out = append(out, Query{Box: b, Seq: seq})
+			seq++
+		}
+	}
+	return out
+}
+
+// MixRandom replaces the given percentage of queries in w with fresh random
+// queries drawn uniformly from the domain (Fig. 22b's "unpredictable"
+// simulation). The replaced positions are chosen deterministically from the
+// seed; the original workload is not modified.
+func MixRandom(w Workload, domain geom.Box, percent float64, maxRangeFrac float64, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	out := w.Clone()
+	n := int(float64(len(w))*percent/100 + 0.5)
+	if n > len(w) {
+		n = len(w)
+	}
+	perm := rng.Perm(len(w))
+	for _, i := range perm[:n] {
+		out[i].Box = randomQuery(rng, domain, maxRangeFrac)
+	}
+	return out
+}
+
+func randomQuery(rng *rand.Rand, domain geom.Box, maxRangeFrac float64) geom.Box {
+	dims := domain.Dims()
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for d := 0; d < dims; d++ {
+		length := domain.Hi[d] - domain.Lo[d]
+		extent := rng.Float64() * maxRangeFrac * length
+		center := domain.Lo[d] + rng.Float64()*length
+		lo[d] = clampTo(center-extent/2, domain.Lo[d], domain.Hi[d])
+		hi[d] = clampTo(center+extent/2, domain.Lo[d], domain.Hi[d])
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+func clampTo(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AreSimilar decides Definition 2: whether hist (QH) and future (QF) are
+// δ-similar, i.e. whether there is a matching M ⊂ QF×QH in which every
+// future query appears exactly once, every historical query appears exactly
+// |QF|/|QH| times, and every matched pair is within distance delta.
+//
+// It returns an error when |QF| is not divisible by |QH| (the definition
+// requires divisibility).
+func AreSimilar(hist, future Workload, delta float64) (bool, error) {
+	m := newMatcher(hist, future)
+	if m.err != nil {
+		return false, m.err
+	}
+	return m.feasible(delta), nil
+}
+
+// MinimalDelta returns the smallest δ′ such that hist and future are
+// δ′-similar (the bottleneck assignment value). It is the core of the §IV-E
+// estimation heuristic.
+func MinimalDelta(hist, future Workload) (float64, error) {
+	m := newMatcher(hist, future)
+	if m.err != nil {
+		return 0, m.err
+	}
+	// Candidate thresholds are exactly the pairwise distances.
+	cand := make([]float64, 0, len(m.dist)*len(m.dist[0]))
+	for _, row := range m.dist {
+		cand = append(cand, row...)
+	}
+	sort.Float64s(cand)
+	cand = dedupFloats(cand)
+	// Binary search the smallest feasible threshold. The largest candidate
+	// is always feasible: with all edges present the graph is complete
+	// bipartite and right capacities sum to exactly |QF|.
+	lo, hi := 0, len(cand)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.feasible(cand[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return cand[lo], nil
+}
+
+// EstimateDelta implements the §IV-E heuristic for unknown δ: split the
+// historical workload into two equal halves by timestamp ("past" and
+// "future") and return the smallest δ′ under which the newer half looks like
+// a drift of the older one.
+//
+// The estimate is the directed Hausdorff distance from the newer half to the
+// older half: max over new queries of the distance to their nearest old
+// query. This is Definition 2 without the capacity condition (iii). The
+// strict capacity-constrained bottleneck (EstimateDeltaStrict) degenerates
+// on clustered workloads: whenever the halves' per-cluster counts differ —
+// which independent samples almost always do — some query is forced to match
+// across clusters and δ′ jumps to the inter-cluster distance, grossly
+// over-extending every query. The capacity-free variant reproduces the
+// paper's Fig. 22a behaviour (PAW-unknown within a few × of PAW on uniform
+// workloads and comparable on skewed ones).
+func EstimateDelta(hist Workload) (float64, error) {
+	if len(hist) < 2 {
+		return 0, fmt.Errorf("workload: need at least 2 queries to estimate delta, have %d", len(hist))
+	}
+	h1, h2 := hist.SplitHalves()
+	est := 0.0
+	for _, q := range h2 {
+		nn := math.Inf(1)
+		for _, p := range h1 {
+			if d := Dist(q, p); d < nn {
+				nn = d
+			}
+		}
+		if nn > est {
+			est = nn
+		}
+	}
+	return est, nil
+}
+
+// EstimateDeltaStrict is the literal §IV-E procedure: the minimal δ′ making
+// the two history halves δ′-similar under the full Definition 2, capacity
+// condition included. See EstimateDelta for why this degenerates on
+// clustered workloads. When the halves' sizes differ, the larger half is
+// trimmed to the divisible prefix.
+func EstimateDeltaStrict(hist Workload) (float64, error) {
+	if len(hist) < 2 {
+		return 0, fmt.Errorf("workload: need at least 2 queries to estimate delta, have %d", len(hist))
+	}
+	h1, h2 := hist.SplitHalves()
+	// Definition 2 matches QF against QH with |QF| divisible by |QH|; here
+	// QH=h1, QF=h2. SplitHalves gives |h1| >= |h2|; trim h1 to |h2| so the
+	// ratio is exactly 1.
+	if len(h1) > len(h2) {
+		h1 = h1[:len(h2)]
+	}
+	return MinimalDelta(h1, h2)
+}
+
+// GreedyMinimalDelta is a fast approximation of MinimalDelta for very large
+// workloads: it sorts all pairs by distance and greedily matches respecting
+// capacities, returning the largest distance used. The result is an upper
+// bound on the true bottleneck value.
+func GreedyMinimalDelta(hist, future Workload) (float64, error) {
+	if err := checkDivisible(hist, future); err != nil {
+		return 0, err
+	}
+	k := len(future) / len(hist)
+	type pair struct {
+		d    float64
+		f, h int
+	}
+	pairs := make([]pair, 0, len(hist)*len(future))
+	for i, qf := range future {
+		for j, qh := range hist {
+			pairs = append(pairs, pair{Dist(qf, qh), i, j})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].d < pairs[b].d })
+	matchedF := make([]bool, len(future))
+	capH := make([]int, len(hist))
+	for i := range capH {
+		capH[i] = k
+	}
+	remaining := len(future)
+	maxD := 0.0
+	for _, p := range pairs {
+		if remaining == 0 {
+			break
+		}
+		if matchedF[p.f] || capH[p.h] == 0 {
+			continue
+		}
+		matchedF[p.f] = true
+		capH[p.h]--
+		remaining--
+		if p.d > maxD {
+			maxD = p.d
+		}
+	}
+	if remaining != 0 {
+		return 0, fmt.Errorf("workload: greedy matching left %d queries unmatched", remaining)
+	}
+	return maxD, nil
+}
+
+func checkDivisible(hist, future Workload) error {
+	if len(hist) == 0 || len(future) == 0 {
+		return fmt.Errorf("workload: empty workload (|QH|=%d, |QF|=%d)", len(hist), len(future))
+	}
+	if len(future)%len(hist) != 0 {
+		return fmt.Errorf("workload: |QF|=%d not divisible by |QH|=%d", len(future), len(hist))
+	}
+	return nil
+}
+
+// matcher holds the precomputed distance matrix and scratch state for
+// repeated Hopcroft–Karp feasibility tests at different thresholds.
+type matcher struct {
+	dist [][]float64 // dist[f][h]
+	k    int         // capacity of each historical query
+	err  error
+
+	// Hopcroft–Karp state over left = future queries, right = historical
+	// queries replicated k times (right index = h*k + copy).
+	matchL, matchR, layer, queue, iter []int
+}
+
+func newMatcher(hist, future Workload) *matcher {
+	m := &matcher{}
+	if err := checkDivisible(hist, future); err != nil {
+		m.err = err
+		return m
+	}
+	m.k = len(future) / len(hist)
+	m.dist = make([][]float64, len(future))
+	for i, qf := range future {
+		row := make([]float64, len(hist))
+		for j, qh := range hist {
+			row[j] = Dist(qf, qh)
+		}
+		m.dist[i] = row
+	}
+	n := len(future)
+	r := len(hist) * m.k
+	m.matchL = make([]int, n)
+	m.matchR = make([]int, r)
+	m.layer = make([]int, n)
+	m.queue = make([]int, 0, n)
+	m.iter = make([]int, n)
+	return m
+}
+
+const unmatched = -1
+
+// feasible runs Hopcroft–Karp and reports whether a perfect matching of the
+// left side exists using only edges with distance <= delta.
+func (m *matcher) feasible(delta float64) bool {
+	n := len(m.matchL)
+	for i := range m.matchL {
+		m.matchL[i] = unmatched
+	}
+	for i := range m.matchR {
+		m.matchR[i] = unmatched
+	}
+	matched := 0
+	for {
+		if !m.bfs(delta) {
+			break
+		}
+		for i := range m.iter {
+			m.iter[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			if m.matchL[u] == unmatched && m.dfs(u, delta) {
+				matched++
+			}
+		}
+	}
+	return matched == n
+}
+
+// bfs layers the left vertices by shortest alternating path from any free
+// left vertex; returns false when no augmenting path exists.
+func (m *matcher) bfs(delta float64) bool {
+	const inf = int(^uint(0) >> 1)
+	m.queue = m.queue[:0]
+	for u := range m.layer {
+		if m.matchL[u] == unmatched {
+			m.layer[u] = 0
+			m.queue = append(m.queue, u)
+		} else {
+			m.layer[u] = inf
+		}
+	}
+	found := false
+	for qi := 0; qi < len(m.queue); qi++ {
+		u := m.queue[qi]
+		row := m.dist[u]
+		for h, d := range row {
+			if d > delta {
+				continue
+			}
+			for c := 0; c < m.k; c++ {
+				v := h*m.k + c
+				w := m.matchR[v]
+				if w == unmatched {
+					found = true
+				} else if m.layer[w] == inf {
+					m.layer[w] = m.layer[u] + 1
+					m.queue = append(m.queue, w)
+				}
+			}
+		}
+	}
+	return found
+}
+
+// dfs searches for an augmenting path from left vertex u along the BFS
+// layers, advancing a per-vertex edge cursor so each edge is scanned once
+// per phase.
+func (m *matcher) dfs(u int, delta float64) bool {
+	row := m.dist[u]
+	nEdges := len(row) * m.k
+	for ; m.iter[u] < nEdges; m.iter[u]++ {
+		e := m.iter[u]
+		h := e / m.k
+		if row[h] > delta {
+			// Skip the remaining copies of this historical query.
+			m.iter[u] = (h+1)*m.k - 1
+			continue
+		}
+		v := h*m.k + e%m.k
+		w := m.matchR[v]
+		if w == unmatched || (m.layer[w] == m.layer[u]+1 && m.dfs(w, delta)) {
+			m.matchL[u] = v
+			m.matchR[v] = u
+			return true
+		}
+	}
+	return false
+}
+
+func dedupFloats(a []float64) []float64 {
+	if len(a) == 0 {
+		return a
+	}
+	out := a[:1]
+	for _, v := range a[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
