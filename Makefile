@@ -1,0 +1,28 @@
+# Tier-1 verification plus the concurrency and performance gates added with
+# the parallel construction substrate (internal/parbuild).
+
+GO ?= go
+
+.PHONY: check build test race bench-construction
+
+# check is the full tier-1 gate: build, tests, and the race detector over
+# every package that runs concurrent construction code.
+check: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild)
+# under the race detector in short mode. Any new fan-out point must pass
+# this before merging.
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/...
+
+# bench-construction regenerates BENCH_construction.json: construction
+# ns/op, allocs/op and parallel speedup at 1/2/4/8 workers, tracked across
+# PRs.
+bench-construction:
+	$(GO) run ./cmd/pawbench -construction BENCH_construction.json

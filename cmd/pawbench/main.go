@@ -24,13 +24,15 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "experiment ID, comma-separated list, or \"all\"")
-		list     = flag.Bool("list", false, "list available experiments")
-		md       = flag.Bool("md", false, "emit markdown tables instead of aligned text")
-		tpchRows = flag.Int("tpch-rows", 0, "override the scaled TPC-H row count")
-		osmRows  = flag.Int("osm-rows", 0, "override the scaled OSM row count")
-		queries  = flag.Int("queries", 0, "override #Q (total queries; half historical)")
-		seed     = flag.Int64("seed", 0, "override the master seed")
+		expFlag      = flag.String("exp", "", "experiment ID, comma-separated list, or \"all\"")
+		list         = flag.Bool("list", false, "list available experiments")
+		md           = flag.Bool("md", false, "emit markdown tables instead of aligned text")
+		tpchRows     = flag.Int("tpch-rows", 0, "override the scaled TPC-H row count")
+		osmRows      = flag.Int("osm-rows", 0, "override the scaled OSM row count")
+		queries      = flag.Int("queries", 0, "override #Q (total queries; half historical)")
+		seed         = flag.Int64("seed", 0, "override the master seed")
+		parallelism  = flag.Int("parallelism", 0, "layout-construction workers (0 = all cores, 1 = serial)")
+		construction = flag.String("construction", "", "write the construction benchmark (ns/op, allocs/op, speedup at 1/2/4/8 workers) as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -40,11 +42,6 @@ func main() {
 		}
 		return
 	}
-	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "pawbench: use -list to see experiments, -exp <id>|all to run")
-		os.Exit(2)
-	}
-
 	cfg := bench.DefaultConfig()
 	if *tpchRows > 0 {
 		cfg.TPCHRows = *tpchRows
@@ -57,6 +54,19 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	cfg.Parallelism = *parallelism
+
+	if *construction != "" {
+		if err := runConstruction(cfg, *construction); err != nil {
+			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *expFlag == "" {
+		fmt.Fprintln(os.Stderr, "pawbench: use -list to see experiments, -exp <id>|all to run")
+		os.Exit(2)
 	}
 
 	var exps []bench.Experiment

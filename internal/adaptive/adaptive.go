@@ -129,11 +129,12 @@ func (a *Partitioner) split(pt *part) int64 {
 		return 0
 	}
 	queries := clipAll(pt.recent, pt.box)
-	cut, _, ok := qdtree.BestCut(a.data, pt.box, pt.rows, queries, nil, a.p.MinRows)
+	cc, ok := qdtree.BestCut(a.data, pt.box, pt.rows, queries, nil, a.p.MinRows, nil)
 	if !ok {
 		return 0
 	}
-	left, right := qdtree.SplitRows(a.data, pt.rows, cut)
+	cut := cc.Cut
+	left, right := qdtree.SplitRowsN(a.data, pt.rows, cut, cc.LeftRows)
 	lbox, rbox := cut.Apply(pt.box)
 	cost := pt.bytes(a.data.RowBytes())
 	l := &part{box: lbox, rows: left, recent: clipAll(pt.recent, lbox)}

@@ -45,6 +45,10 @@ type Config struct {
 	// MaxLBQueries caps how many future queries the exact lower bound is
 	// computed over (it is a full scan per query).
 	MaxLBQueries int
+	// Parallelism bounds the layout-construction worker pool (0 = all
+	// cores, 1 = serial). Layouts are identical at any setting; only
+	// construction time changes.
+	Parallelism int
 	// Seed drives every generator.
 	Seed int64
 }

@@ -123,11 +123,11 @@ func buildUnrouted(s *Scenario, method string) *layout.Layout {
 	dom := s.Data.Domain()
 	switch method {
 	case MQdTree:
-		return qdtree.Build(s.Data, s.Sample, dom, s.Hist.Boxes(), qdtree.Params{MinRows: s.MinRows})
+		return qdtree.Build(s.Data, s.Sample, dom, s.Hist.Boxes(), qdtree.Params{MinRows: s.MinRows, Parallelism: s.Cfg.Parallelism})
 	case MKdTree:
-		return kdtree.Build(s.Data, s.Sample, dom, kdtree.Params{MinRows: s.MinRows})
+		return kdtree.Build(s.Data, s.Sample, dom, kdtree.Params{MinRows: s.MinRows, Parallelism: s.Cfg.Parallelism})
 	case MPAW:
-		return core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{MinRows: s.MinRows, Delta: s.Delta})
+		return core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{MinRows: s.MinRows, Delta: s.Delta, Parallelism: s.Cfg.Parallelism})
 	default:
 		panic(fmt.Sprintf("bench: unknown method %q", method))
 	}

@@ -348,12 +348,12 @@ func AblationBeam(cfg Config) []*Table {
 		}
 	}
 	start := time.Now()
-	greedy := core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{MinRows: s.MinRows, Delta: s.Delta})
+	greedy := core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{MinRows: s.MinRows, Delta: s.Delta, Parallelism: s.Cfg.Parallelism})
 	t.AddRow("0 (greedy)", measure(greedy, time.Since(start).Seconds()))
 	for _, width := range []int{2, 4, 8} {
 		start = time.Now()
 		l := core.BuildBeam(s.Data, s.Sample, dom, s.Hist, core.BeamParams{
-			Params: core.Params{MinRows: s.MinRows, Delta: s.Delta},
+			Params: core.Params{MinRows: s.MinRows, Delta: s.Delta, Parallelism: s.Cfg.Parallelism},
 			Width:  width, Branch: 3,
 		})
 		t.AddRow(fmt.Sprintf("%d", width), measure(l, time.Since(start).Seconds()))

@@ -62,18 +62,18 @@ func (s *Scenario) Layout(method string) *layout.Layout {
 	var l *layout.Layout
 	switch method {
 	case MQdTree:
-		l = qdtree.Build(s.Data, s.Sample, dom, s.Hist.Boxes(), qdtree.Params{MinRows: s.MinRows})
+		l = qdtree.Build(s.Data, s.Sample, dom, s.Hist.Boxes(), qdtree.Params{MinRows: s.MinRows, Parallelism: s.Cfg.Parallelism})
 	case MKdTree:
-		l = kdtree.Build(s.Data, s.Sample, dom, kdtree.Params{MinRows: s.MinRows})
+		l = kdtree.Build(s.Data, s.Sample, dom, kdtree.Params{MinRows: s.MinRows, Parallelism: s.Cfg.Parallelism})
 	case MPAW:
-		l = core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{MinRows: s.MinRows, Delta: s.Delta})
+		l = core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{MinRows: s.MinRows, Delta: s.Delta, Parallelism: s.Cfg.Parallelism})
 	case MPAWRefine:
 		l = core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{
-			MinRows: s.MinRows, Delta: s.Delta, DataAwareRefine: true,
+			MinRows: s.MinRows, Delta: s.Delta, DataAwareRefine: true, Parallelism: s.Cfg.Parallelism,
 		})
 	case MPAWRect:
 		l = core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{
-			MinRows: s.MinRows, Delta: s.Delta, DisableMultiGroup: true,
+			MinRows: s.MinRows, Delta: s.Delta, DisableMultiGroup: true, Parallelism: s.Cfg.Parallelism,
 		})
 	case MPAWUnknown:
 		// §IV-E: estimate δ′ from the history alone and guard against
@@ -83,7 +83,7 @@ func (s *Scenario) Layout(method string) *layout.Layout {
 			est = 0
 		}
 		l = core.Build(s.Data, s.Sample, dom, s.Hist, core.Params{
-			MinRows: s.MinRows, Delta: est, DataAwareRefine: true,
+			MinRows: s.MinRows, Delta: est, DataAwareRefine: true, Parallelism: s.Cfg.Parallelism,
 		})
 	default:
 		panic(fmt.Sprintf("bench: unknown method %q", method))

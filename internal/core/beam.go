@@ -42,7 +42,7 @@ func BuildBeam(data *dataset.Dataset, rows []int, domain geom.Box, hist workload
 	}
 	ext := hist.Extend(p.Delta)
 	queries := clipBoxes(ext.Boxes(), domain)
-	b := &builder{data: data, p: p.Params}
+	b := newBuilder(data, p.Params)
 
 	root := &beamNode{box: domain, rows: rows, queries: queries}
 	best := toLayoutNode(b, searchBeam(b, root, p))
@@ -50,7 +50,7 @@ func BuildBeam(data *dataset.Dataset, rows []int, domain geom.Box, hist workload
 	// beam result alone is not guaranteed to beat greedy Algorithm 3. Build
 	// both and keep the cheaper layout under the construction cost model —
 	// beam search then never loses quality, only build time.
-	greedy := b.construct(domain, rows, queries)
+	greedy := b.construct(domain, rows, queries, b.pool.RootSlot())
 	if treeCost(greedy, queries) < treeCost(best, queries) {
 		best = greedy
 	}
@@ -115,13 +115,26 @@ func searchBeam(b *builder, root *beamNode, p BeamParams) *beamNode {
 	beam := []*state{init}
 	var finished []*state
 	for len(beam) > 0 {
-		var successors []*state
+		// Expand every surviving state concurrently: expansions are
+		// independent (states share tree nodes copy-on-write only), and the
+		// per-state successor lists are flattened in beam order, so the
+		// successor sequence — and therefore the whole search — matches the
+		// serial run exactly.
+		var pending []*state
 		for _, st := range beam {
 			if len(st.open) == 0 {
 				finished = append(finished, st)
 				continue
 			}
-			successors = append(successors, expand(b, st, p)...)
+			pending = append(pending, st)
+		}
+		perState := make([][]*state, len(pending))
+		b.pool.Fan(b.pool.RootSlot(), len(pending), func(i, slot int) {
+			perState[i] = expand(b, pending[i], p, slot)
+		})
+		var successors []*state
+		for _, succ := range perState {
+			successors = append(successors, succ...)
 		}
 		if len(successors) == 0 {
 			break
@@ -147,8 +160,9 @@ func splittable(b *builder, n *beamNode) bool {
 }
 
 // expand pops the first open node of st and emits one successor per split
-// alternative plus one that closes the node.
-func expand(b *builder, st *state, p BeamParams) []*state {
+// alternative plus one that closes the node. slot selects the executing
+// worker's scratch.
+func expand(b *builder, st *state, p BeamParams, slot int) []*state {
 	node := st.open[0]
 	rest := st.open[1:]
 	var out []*state
@@ -159,14 +173,15 @@ func expand(b *builder, st *state, p BeamParams) []*state {
 
 	// Multi-Group Split, when the policy admits it.
 	if !b.p.DisableMultiGroup && float64(len(node.rows)) >= b.p.Alpha*float64(b.p.MinRows) {
-		if r := b.multiGroupSplit(node.box, node.rows, node.queries); r != nil {
+		if r := b.multiGroupSplit(node.box, node.rows, node.queries, slot); r != nil {
 			out = append(out, applySplit(b, st, rest, node, r))
 		}
 	}
 	// Top axis-parallel cuts.
-	cuts := qdtree.TopCuts(b.data, node.box, node.rows, node.queries, b.medianCuts(node.box, node.rows), b.p.MinRows, p.Branch)
+	sc := b.scratchFor(slot)
+	cuts := qdtree.TopCuts(b.data, node.box, node.rows, node.queries, b.medianCuts(node.box, node.rows, sc), b.p.MinRows, p.Branch, sc.qd)
 	for _, cc := range cuts {
-		left, right := qdtree.SplitRows(b.data, node.rows, cc.Cut)
+		left, right := qdtree.SplitRowsN(b.data, node.rows, cc.Cut, cc.LeftRows)
 		lbox, rbox := cc.Cut.Apply(node.box)
 		r := &splitResult{pieces: []piece{
 			{desc: layout.NewRect(lbox), box: lbox, rows: left},

@@ -17,6 +17,13 @@
 //  3. Optionally (§IV-E), query-free leaves are refined data-aware, k-d
 //     style, down to the finest size [bmin, 2bmin), so that PAW degrades
 //     gracefully to k-d tree behaviour on fully unpredictable workloads.
+//
+// Construction is parallel: sibling subtrees of every split fan out over a
+// bounded parbuild.Pool, and the Multi-Group row assignment sweeps row
+// chunks concurrently. The result is deterministic — byte-identical to the
+// serial build — because every per-node decision depends only on that
+// node's rows and queries, children are assembled in declaration order, and
+// chunked sweeps merge in chunk order (see internal/parbuild).
 package core
 
 import (
@@ -26,6 +33,7 @@ import (
 	"paw/internal/geom"
 	"paw/internal/kdtree"
 	"paw/internal/layout"
+	"paw/internal/parbuild"
 	"paw/internal/qdtree"
 	"paw/internal/workload"
 )
@@ -49,6 +57,10 @@ type Params struct {
 	// DisableMultiGroup turns Multi-Group Split off (rectangles only).
 	// Used by the ablation study; the default (false) is full PAW.
 	DisableMultiGroup bool
+	// Parallelism bounds the construction worker pool: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces a serial build. Any value produces
+	// the same layout; Parallelism only trades build time for cores.
+	Parallelism int
 }
 
 func (p Params) withDefaults() Params {
@@ -71,19 +83,94 @@ func Build(data *dataset.Dataset, rows []int, domain geom.Box, hist workload.Wor
 	// queries outside the data space contain no records and would only
 	// distort group MBRs.
 	queries := clipBoxes(ext.Boxes(), domain)
-	b := &builder{data: data, p: p}
-	root := b.construct(domain, rows, queries)
+	b := newBuilder(data, p)
+	root := b.construct(domain, rows, queries, b.pool.RootSlot())
 	return layout.Seal("paw", root, data.RowBytes())
 }
+
+// parAssignMinRows is the row count below which the Multi-Group row
+// assignment sweep is not worth chunking across workers.
+const parAssignMinRows = 2048
 
 type builder struct {
 	data *dataset.Dataset
 	p    Params
+	pool *parbuild.Pool
+	// cols caches the dataset's contiguous column slices so hot loops probe
+	// cols[d][r] directly instead of calling data.At per (row, dim) pair.
+	cols [][]float64
+	// scratch is indexed by parbuild worker slot; a slot is held by at most
+	// one goroutine at a time, so entries need no locking.
+	scratch []*buildScratch
+}
+
+// buildScratch is the per-worker reusable memory of the construction hot
+// paths.
+type buildScratch struct {
+	// qd backs qdtree cut evaluation (sorted values, bounds, dedup set).
+	qd *qdtree.Scratch
+	// fs is the float buffer for median scans and expansion-rank sorts.
+	fs []float64
+	// assign is the per-row group-index buffer of multiGroupSplit.
+	assign []int32
+}
+
+func newBuilder(data *dataset.Dataset, p Params) *builder {
+	pool := parbuild.New(p.Parallelism)
+	cols := make([][]float64, data.Dims())
+	for d := range cols {
+		cols[d] = data.Column(d)
+	}
+	return &builder{
+		data:    data,
+		p:       p,
+		pool:    pool,
+		cols:    cols,
+		scratch: make([]*buildScratch, pool.Slots()),
+	}
+}
+
+func (b *builder) scratchFor(slot int) *buildScratch {
+	if sc := b.scratch[slot]; sc != nil {
+		return sc
+	}
+	sc := &buildScratch{qd: qdtree.NewScratch()}
+	b.scratch[slot] = sc
+	return sc
+}
+
+func (sc *buildScratch) floats(n int) []float64 {
+	if cap(sc.fs) < n {
+		sc.fs = make([]float64, n)
+	}
+	sc.fs = sc.fs[:n]
+	return sc.fs
+}
+
+func (sc *buildScratch) assignBuf(n int) []int32 {
+	if cap(sc.assign) < n {
+		sc.assign = make([]int32, n)
+	}
+	sc.assign = sc.assign[:n]
+	return sc.assign
+}
+
+// rowIn reports whether row r lies inside box, probing the cached column
+// slices directly.
+func rowIn(cols [][]float64, r int, box geom.Box) bool {
+	for d, col := range cols {
+		v := col[r]
+		if v < box.Lo[d] || v > box.Hi[d] {
+			return false
+		}
+	}
+	return true
 }
 
 // construct is PAW-Construction (Alg. 3). queries are the extended queries
-// clipped to box; rows are the sample rows inside box.
-func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box) *layout.Node {
+// clipped to box; rows are the sample rows inside box. slot identifies the
+// executing worker's scratch (parbuild slot).
+func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box, slot int) *layout.Node {
 	if len(queries) == 0 {
 		return b.queryFreeLeaf(box, rows)
 	}
@@ -98,11 +185,11 @@ func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box) *layou
 	curCost := int64(len(queries)) * int64(size)
 	var best *splitResult
 	if tryMulti {
-		if r := b.multiGroupSplit(box, rows, queries); r != nil && r.cost < curCost {
+		if r := b.multiGroupSplit(box, rows, queries, slot); r != nil && r.cost < curCost {
 			best = r
 		}
 	}
-	if r := b.axisSplit(box, rows, queries); r != nil && r.cost < curCost {
+	if r := b.axisSplit(box, rows, queries, slot); r != nil && r.cost < curCost {
 		if best == nil || r.cost < best.cost {
 			best = r
 		}
@@ -111,16 +198,22 @@ func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box) *layou
 		return leaf(box, rows)
 	}
 
-	node := &layout.Node{Desc: layout.NewRect(box)}
-	for _, pc := range best.pieces {
+	node := &layout.Node{
+		Desc:     layout.NewRect(box),
+		Children: make([]*layout.Node, len(best.pieces)),
+	}
+	// Sibling subtrees are independent; fan them out to free workers and
+	// assemble by index so child order matches the serial build exactly.
+	b.pool.Fan(slot, len(best.pieces), func(i, s int) {
+		pc := best.pieces[i]
 		if pc.irregular {
 			// Irregular partitions terminate: they intersect no query in
 			// Q*F(Po), so their cost is already 0 (§IV-D).
-			node.Children = append(node.Children, b.irregularLeaf(pc))
+			node.Children[i] = b.irregularLeaf(pc, s)
 		} else {
-			node.Children = append(node.Children, b.construct(pc.box, pc.rows, clipBoxes(queries, pc.box)))
+			node.Children[i] = b.construct(pc.box, pc.rows, clipBoxes(queries, pc.box), s)
 		}
-	}
+	})
 	return node
 }
 
@@ -152,12 +245,13 @@ func (r *splitResult) computeCost(queries []geom.Box) {
 // multiGroupSplit is Algorithm 1. It returns nil on a failed split: grouped
 // partitions overlap after expansion, or the irregular remainder is below
 // bmin.
-func (b *builder) multiGroupSplit(box geom.Box, rows []int, queries []geom.Box) *splitResult {
+func (b *builder) multiGroupSplit(box geom.Box, rows []int, queries []geom.Box, slot int) *splitResult {
 	groups := groupIntersecting(queries)
 	if len(groups) == 0 {
 		return nil
 	}
 	// Build one grouped partition per group, expanding to bmin (Fig. 8).
+	sc := b.scratchFor(slot)
 	gpBoxes := make([]geom.Box, 0, len(groups))
 	for _, g := range groups {
 		member := make([]geom.Box, len(g))
@@ -165,7 +259,7 @@ func (b *builder) multiGroupSplit(box geom.Box, rows []int, queries []geom.Box) 
 			member[i] = queries[qi]
 		}
 		gp := geom.MBR(member...)
-		gp, ok := b.expandToMin(box, rows, gp)
+		gp, ok := b.expandToMin(box, rows, gp, sc)
 		if !ok {
 			return nil
 		}
@@ -182,34 +276,65 @@ func (b *builder) multiGroupSplit(box geom.Box, rows []int, queries []geom.Box) 
 		}
 	}
 	// Assign rows: first matching GP wins; the rest go to the irregular
-	// partition.
-	gpRows := make([][]int, len(gpBoxes))
-	var ipRows []int
-	pt := make(geom.Point, b.data.Dims())
-assign:
-	for _, r := range rows {
-		for d := range pt {
-			pt[d] = b.data.At(r, d)
+	// partition. The sweep records a group index per row (ng = irregular)
+	// so the output slices can be allocated exactly once at final size; on
+	// big nodes it additionally runs chunked across workers — per-row
+	// results are independent and chunks merge in order, so the outcome is
+	// identical to the serial sweep.
+	ng := len(gpBoxes)
+	assign := sc.assignBuf(len(rows))
+	counts := make([]int, ng+1)
+	sweep := func(lo, hi int, counts []int) {
+		for i := lo; i < hi; i++ {
+			r := rows[i]
+			g := ng
+			for gi := range gpBoxes {
+				if rowIn(b.cols, r, gpBoxes[gi]) {
+					g = gi
+					break
+				}
+			}
+			assign[i] = int32(g)
+			counts[g]++
 		}
-		for gi, gb := range gpBoxes {
-			if gb.Contains(pt) {
-				gpRows[gi] = append(gpRows[gi], r)
-				continue assign
+	}
+	if b.pool.Workers() > 1 && len(rows) >= parAssignMinRows {
+		chunkCounts := make([][]int, b.pool.Workers())
+		nChunks := b.pool.FanChunks(slot, len(rows), parAssignMinRows/2, func(c, lo, hi, s int) {
+			cc := make([]int, ng+1)
+			sweep(lo, hi, cc)
+			chunkCounts[c] = cc
+		})
+		for c := 0; c < nChunks; c++ {
+			for g, n := range chunkCounts[c] {
+				counts[g] += n
 			}
 		}
-		ipRows = append(ipRows, r)
+	} else {
+		sweep(0, len(rows), counts)
 	}
-	// Size constraints: every GP and the IP must reach bmin.
-	for _, g := range gpRows {
-		if len(g) < b.p.MinRows {
+	// Size constraints: every GP and the IP must reach bmin. Checking the
+	// counts before materialising the row slices keeps failed splits
+	// allocation-free.
+	for _, c := range counts {
+		if c < b.p.MinRows {
 			return nil
 		}
 	}
-	if len(ipRows) < b.p.MinRows {
-		return nil
+	gpRows := make([][]int, ng)
+	for gi := range gpRows {
+		gpRows[gi] = make([]int, 0, counts[gi])
+	}
+	ipRows := make([]int, 0, counts[ng])
+	for i, r := range rows {
+		if g := int(assign[i]); g < ng {
+			gpRows[g] = append(gpRows[g], r)
+		} else {
+			ipRows = append(ipRows, r)
+		}
 	}
 	ipDesc := layout.NewIrregular(box, gpBoxes)
-	res := &splitResult{}
+	res := &splitResult{pieces: make([]piece, 0, ng+1)}
 	for gi, gb := range gpBoxes {
 		res.pieces = append(res.pieces, piece{desc: layout.NewRect(gb), box: gb, rows: gpRows[gi]})
 	}
@@ -222,15 +347,11 @@ assign:
 // the parent's rows (Fig. 8): records are ranked by their relative position
 // F_GP(x) and the expansion factor is the MinRows-th smallest rank. Returns
 // false when even the whole parent cannot supply MinRows rows.
-func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box) (geom.Box, bool) {
+func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box, sc *buildScratch) (geom.Box, bool) {
 	gp = gp.Clip(box)
 	inside := 0
-	pt := make(geom.Point, b.data.Dims())
 	for _, r := range rows {
-		for d := range pt {
-			pt[d] = b.data.At(r, d)
-		}
-		if gp.Contains(pt) {
+		if rowIn(b.cols, r, gp) {
 			inside++
 		}
 	}
@@ -254,11 +375,11 @@ func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box) (geom.Box, 
 			rad[d] = 1e-9 * ext
 		}
 	}
-	fs := make([]float64, len(rows))
+	fs := sc.floats(len(rows))
 	for i, r := range rows {
 		f := 0.0
 		for d := range c {
-			num := b.data.At(r, d) - c[d]
+			num := b.cols[d][r] - c[d]
 			if num < 0 {
 				num = -num
 			}
@@ -290,15 +411,16 @@ func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box) (geom.Box, 
 
 // axisSplit is Algorithm 2: the best axis-parallel split among the median
 // of every dimension and the query-boundary cuts of the Qd-tree.
-func (b *builder) axisSplit(box geom.Box, rows []int, queries []geom.Box) *splitResult {
-	cut, cost, ok := qdtree.BestCut(b.data, box, rows, queries, b.medianCuts(box, rows), b.p.MinRows)
+func (b *builder) axisSplit(box geom.Box, rows []int, queries []geom.Box, slot int) *splitResult {
+	sc := b.scratchFor(slot)
+	cc, ok := qdtree.BestCut(b.data, box, rows, queries, b.medianCuts(box, rows, sc), b.p.MinRows, sc.qd)
 	if !ok {
 		return nil
 	}
-	left, right := qdtree.SplitRows(b.data, rows, cut)
-	lbox, rbox := cut.Apply(box)
+	left, right := qdtree.SplitRowsN(b.data, rows, cc.Cut, cc.LeftRows)
+	lbox, rbox := cc.Cut.Apply(box)
 	return &splitResult{
-		cost: cost,
+		cost: cc.Cost,
 		pieces: []piece{
 			{desc: layout.NewRect(lbox), box: lbox, rows: left},
 			{desc: layout.NewRect(rbox), box: rbox, rows: right},
@@ -306,19 +428,33 @@ func (b *builder) axisSplit(box geom.Box, rows []int, queries []geom.Box) *split
 	}
 }
 
-// medianCuts returns one cut per dimension at the median of the rows.
-func (b *builder) medianCuts(box geom.Box, rows []int) []qdtree.Cut {
+// medianCuts returns one cut per dimension at the median of the rows,
+// filling the scratch buffer instead of allocating and skipping degenerate
+// dimensions (all values equal) before paying for a sort.
+func (b *builder) medianCuts(box geom.Box, rows []int, sc *buildScratch) []qdtree.Cut {
+	if len(rows) == 0 {
+		return nil
+	}
 	var out []qdtree.Cut
-	vals := make([]float64, len(rows))
+	vals := sc.floats(len(rows))
 	for dim := 0; dim < b.data.Dims(); dim++ {
+		col := b.cols[dim]
+		mn, mx := col[rows[0]], col[rows[0]]
 		for i, r := range rows {
-			vals[i] = b.data.At(r, dim)
+			v := col[r]
+			vals[i] = v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mn == mx {
+			continue
 		}
 		sort.Float64s(vals)
 		m := vals[len(vals)/2]
-		if m == vals[0] && m == vals[len(vals)-1] {
-			continue
-		}
 		c := qdtree.CutAtUpper(dim, m)
 		if c.Inside(box) {
 			out = append(out, c)
@@ -341,32 +477,42 @@ func (b *builder) queryFreeLeaf(box geom.Box, rows []int) *layout.Node {
 // and every cell keeps the irregular semantics (cell minus the holes inside
 // it), so partially intersecting unpredictable queries scan one small cell
 // instead of the entire remainder.
-func (b *builder) irregularLeaf(pc piece) *layout.Node {
+func (b *builder) irregularLeaf(pc piece, slot int) *layout.Node {
 	ir := pc.desc.(layout.Irregular)
 	if !b.p.DataAwareRefine || len(pc.rows) < 2*b.p.MinRows {
 		return &layout.Node{Desc: pc.desc, Part: &layout.Partition{Desc: pc.desc, SampleRows: pc.rows}}
 	}
-	return b.refineIrregular(ir.Outer, ir.Holes, pc.rows, 0)
+	return b.refineIrregular(ir.Outer, ir.Holes, pc.rows, 0, slot)
 }
 
-func (b *builder) refineIrregular(outer geom.Box, holes []geom.Box, rows []int, depth int) *layout.Node {
+func (b *builder) refineIrregular(outer geom.Box, holes []geom.Box, rows []int, depth, slot int) *layout.Node {
 	desc := layout.NewIrregular(outer, holes)
 	if len(rows) < 2*b.p.MinRows {
 		return &layout.Node{Desc: desc, Part: &layout.Partition{Desc: desc, SampleRows: rows}}
 	}
 	dims := b.data.Dims()
-	vals := make([]float64, len(rows))
+	sc := b.scratchFor(slot)
+	vals := sc.floats(len(rows))
 	for off := 0; off < dims; off++ {
 		dim := (depth + off) % dims
+		col := b.cols[dim]
+		mn, mx := col[rows[0]], col[rows[0]]
 		for i, r := range rows {
-			vals[i] = b.data.At(r, dim)
+			v := col[r]
+			vals[i] = v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mn == mx {
+			continue
 		}
 		sort.Float64s(vals)
 		m := vals[len(vals)/2]
-		if m == vals[0] && m == vals[len(vals)-1] {
-			continue
-		}
-		if m == vals[len(vals)-1] {
+		if m == mx {
 			i := sort.SearchFloat64s(vals, m) - 1
 			if i < 0 {
 				continue
@@ -377,18 +523,21 @@ func (b *builder) refineIrregular(outer geom.Box, holes []geom.Box, rows []int, 
 		if !cut.Inside(outer) {
 			continue
 		}
-		left, right := qdtree.SplitRows(b.data, rows, cut)
-		if len(left) < b.p.MinRows || len(right) < b.p.MinRows {
+		nLeft := sort.Search(len(vals), func(i int) bool { return vals[i] > m })
+		if nLeft < b.p.MinRows || len(rows)-nLeft < b.p.MinRows {
 			continue
 		}
+		left, right := qdtree.SplitRowsN(b.data, rows, cut, nLeft)
 		lbox, rbox := cut.Apply(outer)
-		return &layout.Node{
-			Desc: desc,
-			Children: []*layout.Node{
-				b.refineIrregular(lbox, clipBoxes(holes, lbox), left, depth+1),
-				b.refineIrregular(rbox, clipBoxes(holes, rbox), right, depth+1),
-			},
-		}
+		node := &layout.Node{Desc: desc, Children: make([]*layout.Node, 2)}
+		b.pool.Fan(slot, 2, func(i, s int) {
+			if i == 0 {
+				node.Children[0] = b.refineIrregular(lbox, clipBoxes(holes, lbox), left, depth+1, s)
+			} else {
+				node.Children[1] = b.refineIrregular(rbox, clipBoxes(holes, rbox), right, depth+1, s)
+			}
+		})
+		return node
 	}
 	return &layout.Node{Desc: desc, Part: &layout.Partition{Desc: desc, SampleRows: rows}}
 }

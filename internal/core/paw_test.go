@@ -189,11 +189,11 @@ func TestDataAwareRefine(t *testing.T) {
 
 func TestExpandToMin(t *testing.T) {
 	data := dataset.Uniform(1000, 2, 15)
-	b := &builder{data: data, p: Params{MinRows: 100}.withDefaults()}
+	b := newBuilder(data, Params{MinRows: 100}.withDefaults())
 	dom := data.Domain()
 	// A tiny query region holds almost no rows; expansion must reach 100.
 	tiny := box2(0.50, 0.50, 0.51, 0.51)
-	grown, ok := b.expandToMin(dom, allRows(1000), tiny)
+	grown, ok := b.expandToMin(dom, allRows(1000), tiny, b.scratchFor(b.pool.RootSlot()))
 	if !ok {
 		t.Fatal("expansion failed")
 	}
@@ -214,11 +214,11 @@ func TestExpandToMin(t *testing.T) {
 
 func TestExpandToMinDegenerate(t *testing.T) {
 	data := dataset.Uniform(1000, 2, 16)
-	b := &builder{data: data, p: Params{MinRows: 50}.withDefaults()}
+	b := newBuilder(data, Params{MinRows: 50}.withDefaults())
 	dom := data.Domain()
 	// Zero-extent query (a point lookup): radius 0 in both dims.
 	pointQ := box2(0.5, 0.5, 0.5, 0.5)
-	grown, ok := b.expandToMin(dom, allRows(1000), pointQ)
+	grown, ok := b.expandToMin(dom, allRows(1000), pointQ, b.scratchFor(b.pool.RootSlot()))
 	if !ok {
 		t.Fatal("degenerate expansion failed")
 	}
@@ -229,9 +229,9 @@ func TestExpandToMinDegenerate(t *testing.T) {
 
 func TestExpandToMinInsufficientRows(t *testing.T) {
 	data := dataset.Uniform(30, 2, 17)
-	b := &builder{data: data, p: Params{MinRows: 50}.withDefaults()}
+	b := newBuilder(data, Params{MinRows: 50}.withDefaults())
 	dom := data.Domain()
-	if _, ok := b.expandToMin(dom, allRows(30), box2(0.4, 0.4, 0.6, 0.6)); ok {
+	if _, ok := b.expandToMin(dom, allRows(30), box2(0.4, 0.4, 0.6, 0.6), b.scratchFor(b.pool.RootSlot())); ok {
 		t.Error("expansion must fail when the parent has fewer than MinRows rows")
 	}
 }

@@ -38,8 +38,8 @@ func TunePolicy(data *dataset.Dataset, rows []int, domain geom.Box, hist workloa
 	for _, alpha := range candidates {
 		params := p
 		params.Alpha = alpha
-		b := &builder{data: data, p: params}
-		root := b.construct(domain, rows, clipBoxes(train.Extend(p.Delta).Boxes(), domain))
+		b := newBuilder(data, params)
+		root := b.construct(domain, rows, clipBoxes(train.Extend(p.Delta).Boxes(), domain), b.pool.RootSlot())
 		cost := treeCost(root, validQ)
 		if bestCost < 0 || cost < bestCost || (cost == bestCost && alpha > bestAlpha) {
 			bestCost = cost

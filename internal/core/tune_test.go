@@ -66,8 +66,8 @@ func TestTunePolicyValidationBeatsWorst(t *testing.T) {
 	cost := func(alpha float64) int64 {
 		params := p.withDefaults()
 		params.Alpha = alpha
-		b := &builder{data: data, p: params}
-		return treeCost(b.construct(dom, allRows(5000), clipBoxes(train.Extend(p.Delta).Boxes(), dom)), validQ)
+		b := newBuilder(data, params)
+		return treeCost(b.construct(dom, allRows(5000), clipBoxes(train.Extend(p.Delta).Boxes(), dom), b.pool.RootSlot()), validQ)
 	}
 	tunedCost := cost(tuned)
 	for _, c := range DefaultAlphaCandidates {

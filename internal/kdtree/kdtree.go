@@ -4,6 +4,10 @@
 // finest admissible size [bmin, 2·bmin) (§VI-A). It ignores the query
 // workload entirely, which makes it robust to workload drift but inefficient
 // when workloads are focused (Fig. 1c column of Table I).
+//
+// Construction fans sibling subtrees out over a parbuild.Pool; the parallel
+// build is deterministic (identical to the serial build) because each
+// subtree's median cuts depend only on that subtree's rows.
 package kdtree
 
 import (
@@ -13,12 +17,17 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/parbuild"
 )
 
 // Params configures the build.
 type Params struct {
 	// MinRows is bmin expressed in sample rows: no partition may hold fewer.
 	MinRows int
+	// Parallelism bounds the construction worker pool: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces a serial build. The parallel build
+	// produces a layout identical to the serial one.
+	Parallelism int
 }
 
 // Build constructs a k-d tree layout over the given sample rows of data.
@@ -28,18 +37,39 @@ func Build(data *dataset.Dataset, rows []int, domain geom.Box, p Params) *layout
 	if p.MinRows < 1 {
 		p.MinRows = 1
 	}
-	b := &builder{data: data, minRows: p.MinRows}
-	root := b.split(domain, rows, 0)
+	b := newBuilder(data, p.MinRows, parbuild.New(p.Parallelism))
+	root := b.split(domain, rows, 0, b.pool.RootSlot())
 	return layout.Seal("kd-tree", root, data.RowBytes())
 }
 
 type builder struct {
 	data    *dataset.Dataset
 	minRows int
+	pool    *parbuild.Pool
+	// scratch holds one reusable median-sort buffer per worker slot; a slot
+	// is held by at most one goroutine at a time.
+	scratch [][]float64
+}
+
+func newBuilder(data *dataset.Dataset, minRows int, pool *parbuild.Pool) *builder {
+	return &builder{
+		data:    data,
+		minRows: minRows,
+		pool:    pool,
+		scratch: make([][]float64, pool.Slots()),
+	}
+}
+
+func (b *builder) valsFor(slot, n int) []float64 {
+	if cap(b.scratch[slot]) < n {
+		b.scratch[slot] = make([]float64, n)
+	}
+	b.scratch[slot] = b.scratch[slot][:n]
+	return b.scratch[slot]
 }
 
 // split recursively divides box/rows, cycling the split dimension by depth.
-func (b *builder) split(box geom.Box, rows []int, depth int) *layout.Node {
+func (b *builder) split(box geom.Box, rows []int, depth, slot int) *layout.Node {
 	if len(rows) < 2*b.minRows {
 		return leaf(box, rows)
 	}
@@ -48,62 +78,84 @@ func (b *builder) split(box geom.Box, rows []int, depth int) *layout.Node {
 	// case the scheduled one is degenerate (all values equal).
 	for off := 0; off < dims; off++ {
 		dim := (depth + off) % dims
-		cut, ok := b.medianCut(rows, dim)
+		cut, nLeft, ok := b.medianCut(rows, dim, slot)
 		if !ok {
 			continue
 		}
-		left, right := partitionRows(b.data, rows, dim, cut)
-		if len(left) < b.minRows || len(right) < b.minRows {
+		if nLeft < b.minRows || len(rows)-nLeft < b.minRows {
 			continue
 		}
+		left, right := partitionRows(b.data, rows, dim, cut, nLeft)
 		lbox := box.Clone()
 		lbox.Hi[dim] = cut
 		rbox := box.Clone()
 		// Children must not overlap even on the boundary plane: the cut
 		// value itself belongs to the left child ("v <= cut goes left").
 		rbox.Lo[dim] = math.Nextafter(cut, math.Inf(1))
-		return &layout.Node{
-			Desc: layout.NewRect(box),
-			Children: []*layout.Node{
-				b.split(lbox, left, depth+1),
-				b.split(rbox, right, depth+1),
-			},
+		node := &layout.Node{
+			Desc:     layout.NewRect(box),
+			Children: make([]*layout.Node, 2),
 		}
+		b.pool.Fan(slot, 2, func(i, s int) {
+			if i == 0 {
+				node.Children[0] = b.split(lbox, left, depth+1, s)
+			} else {
+				node.Children[1] = b.split(rbox, right, depth+1, s)
+			}
+		})
+		return node
 	}
 	return leaf(box, rows)
 }
 
-// medianCut returns the median value of rows on dim. It fails when all
-// values are equal (no cut can separate anything).
-func (b *builder) medianCut(rows []int, dim int) (float64, bool) {
-	vals := make([]float64, len(rows))
+// medianCut returns the median value of rows on dim and the number of rows
+// with value <= the cut. It fails when all values are equal (degenerate
+// dimensions are detected during the fill, before any sorting happens).
+func (b *builder) medianCut(rows []int, dim, slot int) (float64, int, bool) {
+	vals := b.valsFor(slot, len(rows))
+	col := b.data.Column(dim)
+	mn, mx := col[rows[0]], col[rows[0]]
 	for i, r := range rows {
-		vals[i] = b.data.At(r, dim)
+		v := col[r]
+		vals[i] = v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mn == mx {
+		return 0, 0, false
 	}
 	sort.Float64s(vals)
-	if vals[0] == vals[len(vals)-1] {
-		return 0, false
-	}
 	m := vals[len(vals)/2]
-	// A median equal to the minimum would put everything on one side under
-	// the "v <= cut goes left" rule only if all values <= m... shift to the
-	// largest value strictly below the top to guarantee a non-trivial split.
-	if m == vals[len(vals)-1] {
-		// Find the largest value below the maximum.
+	// A median equal to the maximum would put everything on one side under
+	// the "v <= cut goes left" rule; shift to the largest value strictly
+	// below the top to guarantee a non-trivial split.
+	if m == mx {
 		i := sort.SearchFloat64s(vals, m) - 1
 		if i < 0 {
-			return 0, false
+			return 0, 0, false
 		}
 		m = vals[i]
 	}
-	return m, true
+	nLeft := sort.Search(len(vals), func(i int) bool { return vals[i] > m })
+	return m, nLeft, true
 }
 
 // partitionRows splits row indices by the closed rule "value <= cut goes
-// left", mirroring the router's first-match-wins tie-breaking.
-func partitionRows(data *dataset.Dataset, rows []int, dim int, cut float64) (left, right []int) {
+// left", mirroring the router's first-match-wins tie-breaking. nLeft is the
+// known left-side count, pre-sizing both outputs exactly.
+func partitionRows(data *dataset.Dataset, rows []int, dim int, cut float64, nLeft int) (left, right []int) {
+	if nLeft < 0 || nLeft > len(rows) {
+		nLeft = 0
+	}
+	col := data.Column(dim)
+	left = make([]int, 0, nLeft)
+	right = make([]int, 0, len(rows)-nLeft)
 	for _, r := range rows {
-		if data.At(r, dim) <= cut {
+		if col[r] <= cut {
 			left = append(left, r)
 		} else {
 			right = append(right, r)
@@ -119,8 +171,10 @@ func leaf(box geom.Box, rows []int) *layout.Node {
 
 // RefineLeaf splits one box/row-set k-d style until pieces fall below
 // 2·minRows, returning the subtree. PAW's data-aware optimisation (§IV-E)
-// uses it to keep splitting query-free leaves to the finest size.
+// uses it to keep splitting query-free leaves to the finest size. The
+// refinement runs serially: PAW's builder already parallelises across the
+// leaves that call it.
 func RefineLeaf(data *dataset.Dataset, box geom.Box, rows []int, minRows int, depth int) *layout.Node {
-	b := &builder{data: data, minRows: minRows}
-	return b.split(box, rows, depth)
+	b := newBuilder(data, minRows, nil)
+	return b.split(box, rows, depth, b.pool.RootSlot())
 }

@@ -1,0 +1,130 @@
+package parbuild
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSerialPoolRunsInline(t *testing.T) {
+	for _, p := range []*Pool{nil, New(1), {}} {
+		if got := p.Workers(); got != 1 {
+			t.Fatalf("Workers() = %d, want 1", got)
+		}
+		ran := make([]int, 4)
+		p.Fan(p.RootSlot(), 4, func(i, slot int) {
+			if slot != p.RootSlot() {
+				t.Errorf("serial task %d got slot %d, want root slot %d", i, slot, p.RootSlot())
+			}
+			ran[i]++
+		})
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("task %d ran %d times", i, n)
+			}
+		}
+	}
+}
+
+func TestFanRunsEveryTaskOnce(t *testing.T) {
+	p := New(4)
+	const n = 257
+	var ran [n]int32
+	p.Fan(p.RootSlot(), n, func(i, slot int) {
+		atomic.AddInt32(&ran[i], 1)
+		if slot < 0 || slot >= p.Slots() {
+			t.Errorf("task %d got out-of-range slot %d", i, slot)
+		}
+	})
+	for i := range ran {
+		if ran[i] != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, ran[i])
+		}
+	}
+}
+
+func TestFanNestedRecursionBounded(t *testing.T) {
+	// A deep recursive fan must not exceed the worker bound: count
+	// concurrent holders of non-root slots.
+	p := New(3)
+	var inflight, peak int32
+	var recurse func(depth, slot int)
+	recurse = func(depth, slot int) {
+		if depth == 0 {
+			return
+		}
+		p.Fan(slot, 2, func(i, s int) {
+			if s != slot { // ran on a freshly acquired worker
+				cur := atomic.AddInt32(&inflight, 1)
+				for {
+					old := atomic.LoadInt32(&peak)
+					if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+						break
+					}
+				}
+				defer atomic.AddInt32(&inflight, -1)
+			}
+			recurse(depth-1, s)
+		})
+	}
+	recurse(12, p.RootSlot())
+	if peak > 3 {
+		t.Fatalf("observed %d concurrent workers, pool width is 3", peak)
+	}
+}
+
+func TestFanChunksCoversRange(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, 1, 5, 100, 4097} {
+		covered := make([]int32, n)
+		chunks := p.FanChunks(p.RootSlot(), n, 8, func(c, lo, hi, slot int) {
+			if lo >= hi {
+				t.Errorf("n=%d: empty chunk %d [%d,%d)", n, c, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		if n == 0 {
+			if chunks != 0 {
+				t.Fatalf("n=0 produced %d chunks", chunks)
+			}
+			continue
+		}
+		if chunks < 1 || chunks > p.Workers() {
+			t.Fatalf("n=%d: %d chunks outside [1,%d]", n, chunks, p.Workers())
+		}
+		for i := range covered {
+			if covered[i] != 1 {
+				t.Fatalf("n=%d: element %d covered %d times", n, i, covered[i])
+			}
+		}
+	}
+}
+
+func TestFanChunksBoundariesDeterministic(t *testing.T) {
+	p := New(8)
+	record := func() [][2]int {
+		var out [][2]int
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		p.FanChunks(p.RootSlot(), 1000, 16, func(c, lo, hi, slot int) {
+			<-mu
+			out = append(out, [2]int{lo, hi})
+			mu <- struct{}{}
+		})
+		return out
+	}
+	a, b := record(), record()
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	seen := make(map[[2]int]bool, len(a))
+	for _, ch := range a {
+		seen[ch] = true
+	}
+	for _, ch := range b {
+		if !seen[ch] {
+			t.Fatalf("chunk %v present in run 2 but not run 1", ch)
+		}
+	}
+}

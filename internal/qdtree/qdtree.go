@@ -8,6 +8,11 @@
 // dimension — that minimises the workload's I/O cost over the resulting
 // children, subject to the minimum partition size bmin, and stops when no
 // cut improves the cost.
+//
+// Construction fans sibling subtrees out over a parbuild.Pool and reuses
+// per-worker Scratch buffers in cut evaluation; the parallel build is
+// deterministic (identical to the serial build) because the chosen cut of a
+// node depends only on that node's rows and queries.
 package qdtree
 
 import (
@@ -17,12 +22,17 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/parbuild"
 )
 
 // Params configures the build.
 type Params struct {
 	// MinRows is bmin in sample rows.
 	MinRows int
+	// Parallelism bounds the construction worker pool: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces a serial build. The parallel build
+	// produces a layout identical to the serial one.
+	Parallelism int
 }
 
 // Build constructs a greedy Qd-tree layout for the given workload over the
@@ -31,14 +41,33 @@ func Build(data *dataset.Dataset, rows []int, domain geom.Box, queries []geom.Bo
 	if p.MinRows < 1 {
 		p.MinRows = 1
 	}
-	b := &builder{data: data, minRows: p.MinRows}
-	root := b.split(domain, rows, queries)
+	pool := parbuild.New(p.Parallelism)
+	b := &builder{
+		data:    data,
+		minRows: p.MinRows,
+		pool:    pool,
+		scratch: make([]*Scratch, pool.Slots()),
+	}
+	root := b.split(domain, rows, queries, pool.RootSlot())
 	return layout.Seal("qd-tree", root, data.RowBytes())
 }
 
 type builder struct {
 	data    *dataset.Dataset
 	minRows int
+	pool    *parbuild.Pool
+	// scratch is indexed by worker slot; a slot is held by at most one
+	// goroutine at a time, so entries need no locking.
+	scratch []*Scratch
+}
+
+func (b *builder) scratchFor(slot int) *Scratch {
+	if sc := b.scratch[slot]; sc != nil {
+		return sc
+	}
+	sc := NewScratch()
+	b.scratch[slot] = sc
+	return sc
 }
 
 // Cut is an axis-parallel split with explicit boundary ownership: records
@@ -101,72 +130,113 @@ func Candidates(box geom.Box, queries []geom.Box) []Cut {
 	return out
 }
 
-func (b *builder) split(box geom.Box, rows []int, queries []geom.Box) *layout.Node {
+func (b *builder) split(box geom.Box, rows []int, queries []geom.Box, slot int) *layout.Node {
 	if len(rows) < 2*b.minRows || len(queries) == 0 {
 		return leaf(box, rows)
 	}
 	// Current (unsplit) cost: every intersecting query scans all rows.
 	curCost := int64(len(queries)) * int64(len(rows))
-	bestCut, bestCost, ok := BestCut(b.data, box, rows, queries, nil, b.minRows)
-	if !ok || bestCost >= curCost {
+	best, ok := BestCut(b.data, box, rows, queries, nil, b.minRows, b.scratchFor(slot))
+	if !ok || best.Cost >= curCost {
 		return leaf(box, rows)
 	}
-	left, right := SplitRows(b.data, rows, bestCut)
-	lbox, rbox := bestCut.Apply(box)
-	return &layout.Node{
-		Desc: layout.NewRect(box),
-		Children: []*layout.Node{
-			b.split(lbox, left, clipQueries(queries, lbox)),
-			b.split(rbox, right, clipQueries(queries, rbox)),
-		},
+	left, right := SplitRowsN(b.data, rows, best.Cut, best.LeftRows)
+	lbox, rbox := best.Cut.Apply(box)
+	node := &layout.Node{
+		Desc:     layout.NewRect(box),
+		Children: make([]*layout.Node, 2),
 	}
+	b.pool.Fan(slot, 2, func(i, s int) {
+		if i == 0 {
+			node.Children[0] = b.split(lbox, left, clipQueries(queries, lbox), s)
+		} else {
+			node.Children[1] = b.split(rbox, right, clipQueries(queries, rbox), s)
+		}
+	})
+	return node
 }
 
-// CutCost is a candidate cut with its immediate workload cost.
+// Scratch holds the reusable buffers of cut evaluation: the per-dimension
+// sorted row values and query bounds, and the candidate dedup set. One
+// Scratch may be used by one goroutine at a time; builders keep one per
+// parbuild worker slot so the hot path allocates nothing per node.
+type Scratch struct {
+	rowVals, qLo, qHi []float64
+	seen              map[Cut]bool
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and are
+// retained across calls.
+func NewScratch() *Scratch {
+	return &Scratch{seen: make(map[Cut]bool)}
+}
+
+// Floats borrows a length-n float64 buffer from the scratch. The borrow is
+// only valid until the next TopCuts/BestCut call on the same scratch;
+// callers use it for short-lived per-node work (median scans, rank sorts).
+func (sc *Scratch) Floats(n int) []float64 {
+	sc.rowVals = growFloats(sc.rowVals, n)
+	return sc.rowVals
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// CutCost is a candidate cut with its immediate workload cost and the number
+// of rows its left child receives (so callers can pre-size SplitRowsN's
+// outputs without rescanning).
 type CutCost struct {
-	Cut  Cut
-	Cost int64
+	Cut      Cut
+	Cost     int64
+	LeftRows int
 }
 
 // BestCut finds the cost-minimising axis-parallel cut over the Qd-tree
 // candidate set (query lower/upper bounds on every dimension) plus any extra
 // candidate cuts, subject to both children holding at least minRows rows.
-func BestCut(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box, extra []Cut, minRows int) (Cut, int64, bool) {
-	top := TopCuts(data, box, rows, queries, extra, minRows, 1)
+// sc may be nil (a temporary scratch is allocated).
+func BestCut(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box, extra []Cut, minRows int, sc *Scratch) (CutCost, bool) {
+	top := TopCuts(data, box, rows, queries, extra, minRows, 1, sc)
 	if len(top) == 0 {
-		return Cut{}, 0, false
+		return CutCost{}, false
 	}
-	return top[0].Cut, top[0].Cost, true
+	return top[0], true
 }
 
 // TopCuts returns the k cheapest admissible cuts (ascending by cost) over
 // the Qd-tree candidate set plus the extra cuts. Beam-search construction
-// uses k > 1 to branch on near-optimal alternatives.
+// uses k > 1 to branch on near-optimal alternatives. sc may be nil.
 //
 // All queries must intersect box. The evaluation exploits that a cut only
 // changes dimension dim: the left child intersects query q iff
 // q.Lo[dim] <= LeftHi, the right child iff q.Hi[dim] >= RightLo. Sorting row
 // values and query bounds once per dimension makes each candidate O(log n)
 // instead of O(rows + queries).
-func TopCuts(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box, extra []Cut, minRows, k int) []CutCost {
+func TopCuts(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box, extra []Cut, minRows, k int, sc *Scratch) []CutCost {
 	if k < 1 {
 		k = 1
+	}
+	if sc == nil {
+		sc = NewScratch()
 	}
 	dims := box.Dims()
 	total := len(rows)
 	nq := len(queries)
-	var top []CutCost // ascending by cost, at most k entries
-	rowVals := make([]float64, total)
-	qLo := make([]float64, nq)
-	qHi := make([]float64, nq)
-	extraByDim := make(map[int][]Cut, len(extra))
-	for _, c := range extra {
-		extraByDim[c.Dim] = append(extraByDim[c.Dim], c)
-	}
-	seen := make(map[Cut]bool)
+	top := make([]CutCost, 0, k) // ascending by cost, at most k entries
+	sc.rowVals = growFloats(sc.rowVals, total)
+	sc.qLo = growFloats(sc.qLo, nq)
+	sc.qHi = growFloats(sc.qHi, nq)
+	rowVals, qLo, qHi := sc.rowVals, sc.qLo, sc.qHi
+	clear(sc.seen)
+	seen := sc.seen
 	for dim := 0; dim < dims; dim++ {
+		col := data.Column(dim)
 		for i, r := range rows {
-			rowVals[i] = data.At(r, dim)
+			rowVals[i] = col[r]
 		}
 		sort.Float64s(rowVals)
 		for i, q := range queries {
@@ -195,7 +265,7 @@ func TopCuts(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box
 			pos := sort.Search(len(top), func(i int) bool { return top[i].Cost > cost })
 			top = append(top, CutCost{})
 			copy(top[pos+1:], top[pos:])
-			top[pos] = CutCost{Cut: c, Cost: cost}
+			top[pos] = CutCost{Cut: c, Cost: cost, LeftRows: leftRows}
 			if len(top) > k {
 				top = top[:k]
 			}
@@ -204,8 +274,10 @@ func TopCuts(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box
 			try(CutAtLower(dim, queries[i].Lo[dim]))
 			try(CutAtUpper(dim, queries[i].Hi[dim]))
 		}
-		for _, c := range extraByDim[dim] {
-			try(c)
+		for _, c := range extra {
+			if c.Dim == dim {
+				try(c)
+			}
 		}
 	}
 	return top
@@ -222,9 +294,30 @@ func countLT(sorted []float64, x float64) int {
 }
 
 // SplitRows divides row indices according to the cut's boundary ownership.
+// When the left-child count is already known (CutCost.LeftRows), use
+// SplitRowsN to skip the counting pass.
 func SplitRows(data *dataset.Dataset, rows []int, c Cut) (left, right []int) {
+	col := data.Column(c.Dim)
+	n := 0
 	for _, r := range rows {
-		if data.At(r, c.Dim) <= c.LeftHi {
+		if col[r] <= c.LeftHi {
+			n++
+		}
+	}
+	return SplitRowsN(data, rows, c, n)
+}
+
+// SplitRowsN is SplitRows with the left-child row count known in advance,
+// pre-sizing both output slices exactly so no append ever reallocates.
+func SplitRowsN(data *dataset.Dataset, rows []int, c Cut, nLeft int) (left, right []int) {
+	if nLeft < 0 || nLeft > len(rows) {
+		nLeft = 0
+	}
+	col := data.Column(c.Dim)
+	left = make([]int, 0, nLeft)
+	right = make([]int, 0, len(rows)-nLeft)
+	for _, r := range rows {
+		if col[r] <= c.LeftHi {
 			left = append(left, r)
 		} else {
 			right = append(right, r)

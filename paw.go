@@ -100,6 +100,12 @@ type Options struct {
 	DataAwareRefine bool
 	// DisableMultiGroup restricts PAW to rectangular splits (ablation).
 	DisableMultiGroup bool
+	// Parallelism bounds the construction worker pool shared by all
+	// methods: 0 (the default) selects runtime.GOMAXPROCS(0), 1 forces a
+	// serial build. Construction is deterministic at any setting — the
+	// parallel build produces a layout identical to the serial one — so
+	// Parallelism only trades build time for cores.
+	Parallelism int
 	// SampleRows builds the logical layout on a random sample of this many
 	// rows (0 = use every row), mirroring the paper's protocol (§VI-A).
 	// MinRows applies to the sample.
@@ -136,11 +142,12 @@ func Build(data *Dataset, hist Workload, opts Options) (*Layout, error) {
 			Delta:             opts.Delta,
 			DataAwareRefine:   opts.DataAwareRefine,
 			DisableMultiGroup: opts.DisableMultiGroup,
+			Parallelism:       opts.Parallelism,
 		})
 	case MethodQdTree:
-		l = qdtree.Build(data, rows, domain, hist.Boxes(), qdtree.Params{MinRows: opts.MinRows})
+		l = qdtree.Build(data, rows, domain, hist.Boxes(), qdtree.Params{MinRows: opts.MinRows, Parallelism: opts.Parallelism})
 	case MethodKdTree:
-		l = kdtree.Build(data, rows, domain, kdtree.Params{MinRows: opts.MinRows})
+		l = kdtree.Build(data, rows, domain, kdtree.Params{MinRows: opts.MinRows, Parallelism: opts.Parallelism})
 	default:
 		return nil, fmt.Errorf("paw: unknown method %q", opts.Method)
 	}
@@ -181,6 +188,7 @@ func BuildBeam(data *Dataset, hist Workload, opts BeamOptions) (*Layout, error) 
 			Delta:             opts.Delta,
 			DataAwareRefine:   opts.DataAwareRefine,
 			DisableMultiGroup: opts.DisableMultiGroup,
+			Parallelism:       opts.Parallelism,
 		},
 		Width:  opts.Width,
 		Branch: opts.Branch,
@@ -217,8 +225,9 @@ func TuneAlpha(data *Dataset, hist Workload, opts Options) (float64, error) {
 		rows = data.Sample(opts.SampleRows, opts.SampleSeed)
 	}
 	return core.TunePolicy(data, rows, data.Domain(), hist, core.Params{
-		MinRows: opts.MinRows,
-		Delta:   opts.Delta,
+		MinRows:     opts.MinRows,
+		Delta:       opts.Delta,
+		Parallelism: opts.Parallelism,
 	}, nil)
 }
 
