@@ -1,28 +1,39 @@
 # Tier-1 verification plus the concurrency and performance gates added with
-# the parallel construction substrate (internal/parbuild).
+# the parallel construction substrate (internal/parbuild) and the sealed
+# routing index (internal/rtree + layout batch costing).
 
 GO ?= go
 
-.PHONY: check build test race bench-construction
+.PHONY: check build vet test race bench-construction bench-routing
 
-# check is the full tier-1 gate: build, tests, and the race detector over
-# every package that runs concurrent construction code.
-check: build test race
+# check is the full tier-1 gate: build, vet, tests, and the race detector
+# over every package that runs concurrent construction or routing code.
+check: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 # race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild)
-# under the race detector in short mode. Any new fan-out point must pass
-# this before merging.
+# and the concurrent routing/costing paths (layout batch sweeps, router,
+# tuner) under the race detector in short mode. Any new fan-out point must
+# pass this before merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/...
 
 # bench-construction regenerates BENCH_construction.json: construction
 # ns/op, allocs/op and parallel speedup at 1/2/4/8 workers, tracked across
 # PRs.
 bench-construction:
 	$(GO) run ./cmd/pawbench -construction BENCH_construction.json
+
+# bench-routing regenerates BENCH_routing.json: ns/query, queries/sec and
+# allocs/query for linear vs indexed vs batched range routing and point
+# routing on a sealed 5k-partition layout, tracked across PRs.
+bench-routing:
+	$(GO) run ./cmd/pawbench -routing BENCH_routing.json

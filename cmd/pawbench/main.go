@@ -33,6 +33,7 @@ func main() {
 		seed         = flag.Int64("seed", 0, "override the master seed")
 		parallelism  = flag.Int("parallelism", 0, "layout-construction workers (0 = all cores, 1 = serial)")
 		construction = flag.String("construction", "", "write the construction benchmark (ns/op, allocs/op, speedup at 1/2/4/8 workers) as JSON to this path and exit")
+		routing      = flag.String("routing", "", "write the routing benchmark (ns/query, q/s, allocs/query for linear vs indexed range+point routing) as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -59,6 +60,13 @@ func main() {
 
 	if *construction != "" {
 		if err := runConstruction(cfg, *construction); err != nil {
+			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *routing != "" {
+		if err := runRouting(cfg, *routing); err != nil {
 			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -230,16 +230,15 @@ type splitResult struct {
 	cost   int64
 }
 
+// computeCost evaluates Cost(P', Q*F(Po)) of the candidate pieces through
+// layout.CostRows, which indexes the query set on large nodes (many groups ×
+// many queries) and falls back to the quadratic loop on small ones.
 func (r *splitResult) computeCost(queries []geom.Box) {
-	var total int64
-	for _, q := range queries {
-		for _, pc := range r.pieces {
-			if pc.desc.Intersects(q) {
-				total += int64(len(pc.rows))
-			}
-		}
+	pieces := make([]layout.Piece, len(r.pieces))
+	for i, pc := range r.pieces {
+		pieces[i] = layout.Piece{Desc: pc.desc, Rows: len(pc.rows)}
 	}
-	r.cost = total
+	r.cost = layout.CostRows(pieces, queries)
 }
 
 // multiGroupSplit is Algorithm 1. It returns nil on a failed split: grouped

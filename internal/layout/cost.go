@@ -3,6 +3,7 @@ package layout
 import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
+	"paw/internal/rtree"
 )
 
 // Extra is a redundant partition installed by the storage tuner (§V-B): a
@@ -21,11 +22,40 @@ func (e Extra) Bytes() int64 { return e.FullRows * e.RowBytes }
 // Extras is the set of redundant partitions attached to a layout.
 type Extras []Extra
 
+// costRowsIndexMinWork is the pieces×queries product above which CostRows
+// builds a query index instead of running the quadratic loop: below it the
+// index construction costs more than it prunes.
+const costRowsIndexMinWork = 4096
+
 // CostRows is the construction-time cost model: the total number of sample
 // rows a workload scans against candidate pieces. Both Algorithms 1–3 and
 // the Qd-tree greedy use it with sample-row sizes (Eq. 2 with size measured
-// in rows).
+// in rows). Large instances index the queries (STR box R-tree) and probe one
+// piece at a time, turning O(|P|·|Q|) into O(|P|·log|Q| + matches); the
+// total is identical to the quadratic reference because every intersecting
+// (piece, query) pair survives the MBR pre-filter and int64 summation is
+// order-independent.
 func CostRows(pieces []Piece, queries []geom.Box) int64 {
+	if len(pieces)*len(queries) < costRowsIndexMinWork {
+		return costRowsLinear(pieces, queries)
+	}
+	idx := rtree.STRBoxes(queries, 8)
+	var total int64
+	var cand []int
+	for _, p := range pieces {
+		rows := int64(p.Rows)
+		cand = idx.AppendIntersecting(cand[:0], p.Desc.MBR())
+		for _, qi := range cand {
+			if p.Desc.Intersects(queries[qi]) {
+				total += rows
+			}
+		}
+	}
+	return total
+}
+
+// costRowsLinear is the retained quadratic reference for CostRows.
+func costRowsLinear(pieces []Piece, queries []geom.Box) int64 {
 	var total int64
 	for _, q := range queries {
 		for _, p := range pieces {
@@ -46,10 +76,45 @@ type Piece struct {
 
 // QueryCost returns Cost(P, q) in bytes (Eq. 1): the total size of the
 // partitions whose descriptors intersect q, after precise-descriptor pruning
-// (§V-A) and the storage tuner's extra partitions (§V-B) are applied.
+// (§V-A) and the storage tuner's extra partitions (§V-B) are applied. Sealed
+// layouts sum over the routing index's candidates; the result is identical
+// to QueryCostLinear.
 func (l *Layout) QueryCost(q geom.Box, extras Extras) int64 {
 	// Extra partitions first: a query fully inside one is answered from the
 	// cheapest such copy alone.
+	if best := cheapestExtra(extras, q); best >= 0 {
+		return best
+	}
+	if l.index == nil {
+		return l.baseCostLinear(q)
+	}
+	bp := candPool.Get().(*[]int)
+	cand := l.index.AppendIntersecting((*bp)[:0], q)
+	var total int64
+	for _, i := range cand {
+		p := l.Parts[i]
+		if p.Desc.Intersects(q) && !p.PruneWithPrecise(q) {
+			total += p.Bytes()
+		}
+	}
+	*bp = cand[:0]
+	candPool.Put(bp)
+	return total
+}
+
+// QueryCostLinear is the retained linear reference for QueryCost: a full
+// scan over every partition descriptor. Differential tests and the routing
+// benchmark compare against it.
+func (l *Layout) QueryCostLinear(q geom.Box, extras Extras) int64 {
+	if best := cheapestExtra(extras, q); best >= 0 {
+		return best
+	}
+	return l.baseCostLinear(q)
+}
+
+// cheapestExtra returns the size of the cheapest extra partition fully
+// containing q, or -1 when none does.
+func cheapestExtra(extras Extras, q geom.Box) int64 {
 	best := int64(-1)
 	for _, e := range extras {
 		if e.Box.ContainsBox(q) {
@@ -58,9 +123,10 @@ func (l *Layout) QueryCost(q geom.Box, extras Extras) int64 {
 			}
 		}
 	}
-	if best >= 0 {
-		return best
-	}
+	return best
+}
+
+func (l *Layout) baseCostLinear(q geom.Box) int64 {
 	var total int64
 	for _, p := range l.Parts {
 		if !p.Desc.Intersects(q) {
@@ -120,13 +186,17 @@ func LowerBoundRatio(data *dataset.Dataset, queries []geom.Box) float64 {
 }
 
 // PartitionsFor returns the IDs of the partitions a query must scan, in ID
-// order — the list the master sends to the storage layer (Fig. 4).
+// order — the list the master sends to the storage layer (Fig. 4). Sealed
+// layouts answer from the routing index; the result is identical to
+// PartitionsForLinear. Use AppendPartitionsFor to reuse a buffer across
+// queries.
 func (l *Layout) PartitionsFor(q geom.Box) []ID {
-	var out []ID
-	for _, p := range l.Parts {
-		if p.Desc.Intersects(q) && !p.PruneWithPrecise(q) {
-			out = append(out, p.ID)
-		}
-	}
-	return out
+	return l.AppendPartitionsFor(nil, q)
+}
+
+// PartitionsForLinear is the retained linear reference for PartitionsFor: a
+// full scan over every partition descriptor. Differential tests and the
+// routing benchmark compare against it.
+func (l *Layout) PartitionsForLinear(q geom.Box) []ID {
+	return l.appendPartitionsForLinear(nil, q)
 }

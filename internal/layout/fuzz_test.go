@@ -2,6 +2,7 @@ package layout
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 )
 
@@ -36,6 +37,32 @@ func FuzzDecode(f *testing.F) {
 		if again.NumPartitions() != got.NumPartitions() {
 			t.Fatal("round trip changed partition count")
 		}
+	})
+}
+
+// FuzzRoutingDifferential drives the random-layout generator from a fuzzed
+// seed and asserts the sealed routing index answers PartitionsFor, QueryCost
+// and point routing byte-identically to the retained linear reference —
+// including after an encode/decode round trip, which rebuilds the index from
+// scratch.
+func FuzzRoutingDifferential(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1 << 40, -3} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLayout(r)
+		diffRouting(t, r, l)
+
+		var buf bytes.Buffer
+		if err := l.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		diffRouting(t, rand.New(rand.NewSource(seed+1)), back)
 	})
 }
 

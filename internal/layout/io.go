@@ -190,6 +190,9 @@ func Decode(r io.Reader) (*Layout, error) {
 		}
 		p.RowBytes = l.RowBytes
 	}
+	// The routing index is derived state: rebuild it so a decoded layout
+	// routes exactly like the sealed original.
+	l.buildIndex()
 	return l, nil
 }
 

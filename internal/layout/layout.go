@@ -6,6 +6,7 @@ import (
 
 	"paw/internal/dataset"
 	"paw/internal/geom"
+	"paw/internal/rtree"
 )
 
 // ID identifies a physical (leaf) partition.
@@ -55,7 +56,17 @@ type Node struct {
 	Desc     Descriptor
 	Children []*Node
 	Part     *Partition // non-nil iff leaf
+
+	// childIndex accelerates point routing through wide fan-outs
+	// (Multi-Group nodes): a packed box index over the children's MBRs,
+	// built at Seal/Decode, nil for narrow nodes. Derived state — never
+	// serialised, read-only after sealing.
+	childIndex *rtree.BoxIndex
 }
+
+// AcceptPoint implements rtree.PointAccepter for the child index: candidate
+// child i truly contains p. Exported only as index plumbing.
+func (n *Node) AcceptPoint(i int, p geom.Point) bool { return n.Children[i].Desc.Contains(p) }
 
 // IsLeaf reports whether the node is a physical partition.
 func (n *Node) IsLeaf() bool { return n.Part != nil }
@@ -82,8 +93,37 @@ func (n *Node) Leaves() []*Node {
 // routeDown descends from n to the leaf whose region contains p. Children
 // are tested in order, so builders must place irregular partitions after the
 // grouped partitions carved out of them (boundary points then resolve to the
-// group). Returns nil when no child accepts the point.
+// group). Returns nil when no child accepts the point. Wide nodes descend
+// through their child index, which preserves the first-matching-child
+// contract (packed indexes return the smallest accepted index).
 func (n *Node) routeDown(p geom.Point) *Partition {
+	cur := n
+	for !cur.IsLeaf() {
+		var next *Node
+		if cur.childIndex != nil {
+			if i := cur.childIndex.FirstContaining(p, cur); i >= 0 {
+				next = cur.Children[i]
+			}
+		} else {
+			for _, c := range cur.Children {
+				if c.Desc.Contains(p) {
+					next = c
+					break
+				}
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur.Part
+}
+
+// routeDownLinear is the retained linear reference for routeDown: every
+// level scans its children in order with no index. Differential tests and
+// the routing benchmark compare against it.
+func (n *Node) routeDownLinear(p geom.Point) *Partition {
 	cur := n
 	for !cur.IsLeaf() {
 		var next *Node
@@ -117,10 +157,16 @@ type Layout struct {
 	// Unrouted counts records no leaf accepted (should be 0; kept as a
 	// safety signal for floating-point edge cases).
 	Unrouted int64
+
+	// index is the partition-level routing index over the descriptor MBRs,
+	// built at Seal/Decode (see index.go). Derived, immutable state: nil on
+	// hand-assembled layouts, in which case every query path falls back to
+	// the linear reference.
+	index *rtree.BoxIndex
 }
 
-// Seal numbers the leaves, wires Parts and returns the layout. Builders call
-// it once the tree is final.
+// Seal numbers the leaves, wires Parts, builds the routing index and returns
+// the layout. Builders call it once the tree is final.
 func Seal(method string, root *Node, rowBytes int64) *Layout {
 	l := &Layout{Method: method, Root: root, RowBytes: rowBytes}
 	for _, leaf := range root.Leaves() {
@@ -128,6 +174,7 @@ func Seal(method string, root *Node, rowBytes int64) *Layout {
 		leaf.Part.RowBytes = rowBytes
 		l.Parts = append(l.Parts, leaf.Part)
 	}
+	l.buildIndex()
 	return l
 }
 
@@ -140,11 +187,11 @@ func (l *Layout) Route(data *dataset.Dataset) {
 		p.FullRows = 0
 	}
 	l.Unrouted = 0
-	dims := data.Dims()
-	pt := make(geom.Point, dims)
+	cols := hoistColumns(data)
+	pt := make(geom.Point, len(cols))
 	for i := 0; i < data.NumRows(); i++ {
-		for d := 0; d < dims; d++ {
-			pt[d] = data.At(i, d)
+		for d, col := range cols {
+			pt[d] = col[i]
 		}
 		if part := l.Root.routeDown(pt); part != nil {
 			part.FullRows++
@@ -153,6 +200,16 @@ func (l *Layout) Route(data *dataset.Dataset) {
 		}
 	}
 	l.TotalBytes = int64(data.NumRows()) * l.RowBytes
+}
+
+// hoistColumns caches the dataset's contiguous column slices so routing hot
+// loops probe cols[d][r] directly instead of calling data.At per (row, dim).
+func hoistColumns(data *dataset.Dataset) [][]float64 {
+	cols := make([][]float64, data.Dims())
+	for d := range cols {
+		cols[d] = data.Column(d)
+	}
+	return cols
 }
 
 // RouteParallel is Route with the row scan fanned out over up to workers
@@ -168,7 +225,7 @@ func (l *Layout) RouteParallel(data *dataset.Dataset, workers int) {
 	if workers > n {
 		workers = n
 	}
-	dims := data.Dims()
+	cols := hoistColumns(data)
 	nParts := len(l.Parts)
 	counts := make([][]int64, workers)
 	unrouted := make([]int64, workers)
@@ -187,10 +244,10 @@ func (l *Layout) RouteParallel(data *dataset.Dataset, workers int) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			pt := make(geom.Point, dims)
+			pt := make(geom.Point, len(cols))
 			for i := lo; i < hi; i++ {
-				for d := 0; d < dims; d++ {
-					pt[d] = data.At(i, d)
+				for d, col := range cols {
+					pt[d] = col[i]
 				}
 				if part := l.Root.routeDown(pt); part != nil {
 					counts[w][part.ID]++
@@ -221,11 +278,11 @@ func (l *Layout) RouteParallel(data *dataset.Dataset, workers int) {
 // build precise descriptors per partition.
 func (l *Layout) RouteIndices(data *dataset.Dataset, idx []int) map[ID][]int {
 	out := make(map[ID][]int)
-	dims := data.Dims()
-	pt := make(geom.Point, dims)
+	cols := hoistColumns(data)
+	pt := make(geom.Point, len(cols))
 	for _, i := range idx {
-		for d := 0; d < dims; d++ {
-			pt[d] = data.At(i, d)
+		for d, col := range cols {
+			pt[d] = col[i]
 		}
 		if part := l.Root.routeDown(pt); part != nil {
 			out[part.ID] = append(out[part.ID], i)

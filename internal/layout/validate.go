@@ -41,11 +41,11 @@ func (l *Layout) Validate(data *dataset.Dataset, minRows int64) error {
 	}
 	// Re-route every record and confirm the target leaf's descriptor
 	// contains it.
-	dims := data.Dims()
-	pt := make(geom.Point, dims)
+	cols := hoistColumns(data)
+	pt := make(geom.Point, len(cols))
 	for i := 0; i < data.NumRows(); i++ {
-		for d := 0; d < dims; d++ {
-			pt[d] = data.At(i, d)
+		for d, col := range cols {
+			pt[d] = col[i]
 		}
 		part := l.Root.routeDown(pt)
 		if part == nil {

@@ -39,10 +39,12 @@ func Optimize(l *layout.Layout, queries []geom.Box, workers int) Assignment {
 	if workers < 1 {
 		workers = 1
 	}
-	// accessed[p] lists the query indices reading partition p.
+	// accessed[p] lists the query indices reading partition p. The whole
+	// workload is routed in one indexed batch (all cores): per-query results
+	// are deterministic, so the assignment is too.
 	accessed := make(map[layout.ID][]int, len(l.Parts))
-	for qi, q := range queries {
-		for _, id := range l.PartitionsFor(q) {
+	for qi, ids := range l.PartitionsForBatch(queries, 0) {
+		for _, id := range ids {
 			accessed[id] = append(accessed[id], qi)
 		}
 	}
@@ -98,11 +100,13 @@ func Optimize(l *layout.Layout, queries []geom.Box, workers int) Assignment {
 func Makespan(l *layout.Layout, queries []geom.Box, workers int, a Assignment) int64 {
 	var total int64
 	row := make([]int64, workers)
+	var ids []layout.ID
 	for _, q := range queries {
 		for i := range row {
 			row[i] = 0
 		}
-		for _, id := range l.PartitionsFor(q) {
+		ids = l.AppendPartitionsFor(ids[:0], q)
+		for _, id := range ids {
 			row[a[id]] += l.Parts[id].Bytes()
 		}
 		total += maxInt64(row)

@@ -62,19 +62,32 @@ type Plan struct {
 
 // PartitionIDs returns the deduplicated, sorted union of base partitions
 // over all sub-queries — the ID list the master ships to the storage layer.
+// Single-range plans (the common case) return the range's already-sorted
+// list directly; multi-range plans sort-and-compact without a hash set.
 func (p Plan) PartitionIDs() []layout.ID {
-	seen := make(map[layout.ID]bool)
-	var out []layout.ID
+	n := 0
 	for _, r := range p.Ranges {
-		for _, id := range r.Parts {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
-		}
+		n += len(r.Parts)
+	}
+	if n == 0 {
+		return nil
+	}
+	if len(p.Ranges) == 1 {
+		return p.Ranges[0].Parts
+	}
+	out := make([]layout.ID, 0, n)
+	for _, r := range p.Ranges {
+		out = append(out, r.Parts...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // CostBytes returns the plan's total I/O cost: extra partitions for ranges
@@ -121,27 +134,40 @@ func (m *Master) routeRanges(ranges []geom.Box) (Plan, error) {
 		if q.Dims() != m.rewriter.Dims() {
 			return Plan{}, fmt.Errorf("router: query has %d dims, schema has %d", q.Dims(), m.rewriter.Dims())
 		}
-		if m.recorder != nil {
-			m.recorder(q)
-		}
-		rp := RangePlan{Range: q, Extra: -1}
-		// Extra partitions first (§V-B): a range fully inside an extra is
-		// answered from the cheapest covering copy.
-		best := int64(-1)
-		for i, e := range m.extras {
-			if e.Box.ContainsBox(q) {
-				if b := e.Bytes(); best < 0 || b < best {
-					best = b
-					rp.Extra = i
-				}
-			}
-		}
-		if rp.Extra < 0 {
-			rp.Parts = m.layout.PartitionsFor(q)
-		}
+		rp := RangePlan{Range: q}
+		rp.Parts, rp.Extra = m.RoutePartitions(nil, q)
 		plan.Ranges = append(plan.Ranges, rp)
 	}
 	return plan, nil
+}
+
+// RoutePartitions routes one range query without materialising a Plan: the
+// base partitions to scan are appended to dst (allocation-free when dst has
+// capacity — the hot path for callers streaming many ranges), and extra is
+// the index of the extra partition answering the range, or -1 when the base
+// layout serves it (in which case the appended list is what the storage
+// layer must scan). The recorder and extras are applied exactly as in
+// RouteRange.
+func (m *Master) RoutePartitions(dst []layout.ID, q geom.Box) (parts []layout.ID, extra int) {
+	if m.recorder != nil {
+		m.recorder(q)
+	}
+	// Extra partitions first (§V-B): a range fully inside an extra is
+	// answered from the cheapest covering copy.
+	extra = -1
+	best := int64(-1)
+	for i, e := range m.extras {
+		if e.Box.ContainsBox(q) {
+			if b := e.Bytes(); best < 0 || b < best {
+				best = b
+				extra = i
+			}
+		}
+	}
+	if extra >= 0 {
+		return dst, extra
+	}
+	return m.layout.AppendPartitionsFor(dst, q), -1
 }
 
 // MemoryFootprint returns the master's in-memory metadata size in bytes:

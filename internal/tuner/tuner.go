@@ -33,11 +33,10 @@ func Select(l *layout.Layout, data *dataset.Dataset, queries []geom.Box, budgetB
 		cands[i] = cand{box: q.Clone(), bytes: rows * data.RowBytes()}
 	}
 	// Residual cost of answering each query with the current layout plus
-	// the extras selected so far.
-	residual := make([]int64, len(queries))
-	for i, q := range queries {
-		residual[i] = l.QueryCost(q, nil)
-	}
+	// the extras selected so far. Batched, index-accelerated costing: this
+	// sweep was the slowest part of storage-tuner gain evaluation on large
+	// layouts.
+	residual := l.QueryCosts(queries, nil, 0)
 	// covers[j] lists the queries contained in candidate j (q*i ⊆ RPj).
 	covers := make([][]int, len(queries))
 	for j := range cands {
