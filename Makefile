@@ -1,10 +1,11 @@
 # Tier-1 verification plus the concurrency and performance gates added with
-# the parallel construction substrate (internal/parbuild) and the sealed
-# routing index (internal/rtree + layout batch costing).
+# the parallel construction substrate (internal/parbuild), the sealed
+# routing index (internal/rtree + layout batch costing), and the
+# paper-invariant oracle suite (internal/invariant + internal/sim).
 
 GO ?= go
 
-.PHONY: check build vet test race bench-construction bench-routing
+.PHONY: check build vet test race fuzz bench-construction bench-routing
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -19,12 +20,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild)
-# and the concurrent routing/costing paths (layout batch sweeps, router,
-# tuner) under the race detector in short mode. Any new fan-out point must
-# pass this before merging.
+# race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild),
+# the concurrent routing/costing paths (layout batch sweeps, router, tuner),
+# the benchmark harness and the invariant/simulation suites under the race
+# detector in short mode. Any new fan-out point must pass this before
+# merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/...
+
+# fuzz gives every fuzz target a short budget: the invariant harness
+# (builders must satisfy the oracles on fuzzed scenarios), the δ-estimation
+# differential (bottleneck matching vs. brute force) and the routing/codec
+# differentials in internal/layout.
+fuzz:
+	$(GO) test ./internal/sim -run FuzzInvariants -fuzz FuzzInvariants -fuzztime 30s
+	$(GO) test ./internal/workload -run FuzzMinimalDelta -fuzz FuzzMinimalDelta -fuzztime 30s
+	$(GO) test ./internal/layout -run FuzzRoutingDifferential -fuzz FuzzRoutingDifferential -fuzztime 30s
 
 # bench-construction regenerates BENCH_construction.json: construction
 # ns/op, allocs/op and parallel speedup at 1/2/4/8 workers, tracked across

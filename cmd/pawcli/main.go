@@ -11,6 +11,12 @@
 // REPL (reads one SQL statement per line):
 //
 //	pawcli -dataset osm -method paw
+//
+// Validate a persisted layout (written by pawgen) against the paper's
+// sealed-layout invariants — partition geometry, grouped-split semantics and
+// routing-index soundness (internal/invariant):
+//
+//	pawcli check layout.pawl
 package main
 
 import (
@@ -33,6 +39,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		runCheck(os.Args[2:])
+		return
+	}
 	var (
 		ds       = flag.String("dataset", "tpch", "dataset: tpch or osm")
 		method   = flag.String("method", "paw", "method: paw, qd-tree or kd-tree")

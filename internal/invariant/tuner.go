@@ -1,0 +1,68 @@
+package invariant
+
+import (
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// CheckTuner verifies the storage-tuner contract of §V-B/Eq. 5 for a set of
+// selected extra partitions:
+//
+//   - budget: the extras' total physical size never exceeds the space budget;
+//   - exact sizes: every extra's FullRows is the true number of records in
+//     its box and its RowBytes matches the dataset's record size (a wrong
+//     size corrupts both the budget and the cost model);
+//   - positive gain: every extra is the cheapest answer for at least one
+//     workload query it fully contains — Select only admits candidates whose
+//     marginal gain is positive (Eq. 5), so a gainless extra is wasted space;
+//   - never harmful: with extras attached, no query costs more than without
+//     them, and the workload total never increases.
+func CheckTuner(l *layout.Layout, data *dataset.Dataset, queries []geom.Box, extras layout.Extras, budgetBytes int64) error {
+	var total int64
+	for _, e := range extras {
+		total += e.Bytes()
+	}
+	if total > budgetBytes {
+		return violationf(OracleTuner,
+			"extras occupy %d bytes, above the budget of %d", total, budgetBytes)
+	}
+	for i, e := range extras {
+		if data != nil {
+			if want := int64(data.CountInBox(e.Box, nil)); e.FullRows != want {
+				return violationf(OracleTuner,
+					"extra %d claims %d rows in %v, the dataset holds %d", i, e.FullRows, e.Box, want)
+			}
+			if e.RowBytes != data.RowBytes() {
+				return violationf(OracleTuner,
+					"extra %d claims %d bytes per row, the dataset uses %d", i, e.RowBytes, data.RowBytes())
+			}
+		}
+		gain := false
+		for _, q := range queries {
+			if e.Box.ContainsBox(q) && e.Bytes() < l.QueryCost(q, nil) {
+				gain = true
+				break
+			}
+		}
+		if !gain {
+			return violationf(OracleTuner,
+				"extra %d (%v, %d bytes) improves no workload query: zero gain", i, e.Box, e.Bytes())
+		}
+	}
+	var withE, withoutE int64
+	for _, q := range queries {
+		cw, cwo := l.QueryCost(q, extras), l.QueryCost(q, nil)
+		if cw > cwo {
+			return violationf(OracleTuner,
+				"query %v costs %d bytes with extras, %d without: extras made it worse", q, cw, cwo)
+		}
+		withE += cw
+		withoutE += cwo
+	}
+	if withE > withoutE {
+		return violationf(OracleTuner,
+			"workload costs %d bytes with extras, %d without", withE, withoutE)
+	}
+	return nil
+}

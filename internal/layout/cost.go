@@ -80,11 +80,21 @@ type Piece struct {
 // layouts sum over the routing index's candidates; the result is identical
 // to QueryCostLinear.
 func (l *Layout) QueryCost(q geom.Box, extras Extras) int64 {
-	// Extra partitions first: a query fully inside one is answered from the
-	// cheapest such copy alone.
+	// A query fully inside an extra partition may be answered from the
+	// cheapest such copy — but only when that beats scanning the base
+	// partitions, so attaching extras never makes a query more expensive.
 	if best := cheapestExtra(extras, q); best >= 0 {
+		if base := l.baseCost(q); base < best {
+			return base
+		}
 		return best
 	}
+	return l.baseCost(q)
+}
+
+// baseCost is QueryCost without extras: the sealed index path when available,
+// the linear reference otherwise.
+func (l *Layout) baseCost(q geom.Box) int64 {
 	if l.index == nil {
 		return l.baseCostLinear(q)
 	}
@@ -106,10 +116,11 @@ func (l *Layout) QueryCost(q geom.Box, extras Extras) int64 {
 // scan over every partition descriptor. Differential tests and the routing
 // benchmark compare against it.
 func (l *Layout) QueryCostLinear(q geom.Box, extras Extras) int64 {
-	if best := cheapestExtra(extras, q); best >= 0 {
+	base := l.baseCostLinear(q)
+	if best := cheapestExtra(extras, q); best >= 0 && best < base {
 		return best
 	}
-	return l.baseCostLinear(q)
+	return base
 }
 
 // cheapestExtra returns the size of the cheapest extra partition fully

@@ -1,0 +1,20 @@
+package layout
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns the hex SHA-256 of the layout's canonical binary encoding
+// (io.go). Two layouts digest equally iff Encode writes identical bytes:
+// same tree shape, descriptors, partition IDs, sizes and precise
+// descriptors. The simulation harness uses it to assert that parallel
+// construction is byte-identical to serial construction, and the golden
+// regression test pins a fixed-seed build to a committed digest.
+func (l *Layout) Digest() (string, error) {
+	h := sha256.New()
+	if err := l.Encode(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

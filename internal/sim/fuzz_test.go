@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzInvariants drives the oracle suite from fuzzed scenario coordinates:
+// the fuzzer picks a seed, a scenario shape and a builder, and any layout
+// the builders produce must satisfy every invariant. A crash here is either
+// a builder bug or an over-strict oracle — both are real findings.
+func FuzzInvariants(f *testing.F) {
+	f.Add(int64(42), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1))
+	f.Add(int64(1337), uint8(5), uint8(2))
+	f.Add(int64(-3), uint8(11), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, shape, methodPick uint8) {
+		idx := int(shape % 12)
+		sc := Scenarios(idx+1, seed)[idx]
+		method := Methods()[int(methodPick)%len(Methods())]
+		withPrecise := shape%3 == 0
+		var budget int64
+		if shape%4 == 0 {
+			budget = sc.Data.TotalBytes() / 10
+		}
+		if err := Check(sc, method, 2, withPrecise, budget); err != nil {
+			t.Fatalf("seed=%d shape=%d method=%s: %v", seed, shape, method, err)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/workload"
+)
+
+// goldenScenario is the pinned end-to-end configuration: it is deliberately
+// independent of Scenarios() so widening the simulation sweep never
+// invalidates the committed digests.
+func goldenScenario() Scenario {
+	data := dataset.TPCHLike(2000, 7)
+	domain := data.Domain()
+	hist := workload.Generate(domain, workload.Spec{
+		Kind:      workload.KindSkewed,
+		GenParams: workload.Defaults(20, 8),
+	})
+	return Scenario{
+		Name:    "golden",
+		Seed:    7,
+		Data:    data,
+		Domain:  domain,
+		Sample:  data.Sample(500, 9),
+		Hist:    hist,
+		Delta:   0.01 * minExtent(domain),
+		MinRows: 25,
+		Alpha:   8,
+		Refine:  true,
+	}
+}
+
+const goldenFile = "testdata/golden_digests.txt"
+
+// TestGoldenLayoutDigests is the end-to-end regression gate: fixed-seed
+// dataset + workload → build → seal → route → encode, compared against the
+// digests committed under testdata/. Any change to construction, sealing or
+// serialisation that alters even one byte of any builder's output fails
+// here and must be an intentional, reviewed regeneration:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/sim -run TestGoldenLayoutDigests
+//
+// The digests pin amd64/IEEE-754 evaluation order; Go does not fuse
+// floating-point operations differently between runs on one platform, so
+// the test is stable wherever CI runs it.
+func TestGoldenLayoutDigests(t *testing.T) {
+	sc := goldenScenario()
+	got := make(map[string]string, len(Methods()))
+	for _, method := range Methods() {
+		d, err := Build(sc, method, 2).Digest()
+		if err != nil {
+			t.Fatalf("%s: digest: %v", method, err)
+		}
+		got[method] = d
+	}
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		writeGolden(t, got)
+		t.Logf("regenerated %s", goldenFile)
+		return
+	}
+
+	want := readGolden(t)
+	for _, method := range Methods() {
+		w, ok := want[method]
+		if !ok {
+			t.Errorf("%s: no golden digest committed (run with UPDATE_GOLDEN=1)", method)
+			continue
+		}
+		if got[method] != w {
+			t.Errorf("%s: layout digest drifted\n  got  %s\n  want %s\n"+
+				"If the construction change is intentional, regenerate with UPDATE_GOLDEN=1.",
+				method, got[method], w)
+		}
+	}
+}
+
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]string)
+	scan := bufio.NewScanner(f)
+	for scan.Scan() {
+		line := strings.TrimSpace(scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		out[fields[0]] = fields[1]
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func writeGolden(t *testing.T, digests map[string]string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("# SHA-256 digests of the golden end-to-end layouts (see TestGoldenLayoutDigests).\n")
+	b.WriteString("# Regenerate with: UPDATE_GOLDEN=1 go test ./internal/sim -run TestGoldenLayoutDigests\n")
+	methods := make([]string, 0, len(digests))
+	for m := range digests {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		fmt.Fprintf(&b, "%s %s\n", m, digests[m])
+	}
+	if err := os.WriteFile(goldenFile, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+)
+
+// scenarioCount returns the simulation breadth: -short still covers ≥ 20
+// seeded scenarios (the acceptance floor), full mode widens the sweep.
+func scenarioCount(t *testing.T) int {
+	if testing.Short() {
+		return 21
+	}
+	return 36
+}
+
+// TestInvariantsAllBuilders is the harness's main gate: every builder, on
+// every seeded scenario, must produce a layout that satisfies the full
+// oracle suite. Every third scenario additionally installs precise
+// descriptors (exercising the §V-A soundness oracle) and every fourth runs
+// the storage tuner against a tenth of the layout size (§V-B oracle).
+func TestInvariantsAllBuilders(t *testing.T) {
+	for i, sc := range Scenarios(scenarioCount(t), 42) {
+		sc, i := sc, i
+		for _, method := range Methods() {
+			method := method
+			t.Run(sc.Name+"/"+method, func(t *testing.T) {
+				t.Parallel()
+				withPrecise := i%3 == 0
+				var budget int64
+				if i%4 == 0 {
+					budget = sc.Data.TotalBytes() / 10
+				}
+				if err := Check(sc, method, 4, withPrecise, budget); err != nil {
+					t.Fatalf("invariants violated: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDeterminism asserts the byte-identity contract of parallel
+// construction: for every builder, the layout built at parallelism 1 and at
+// parallelism 4 (construction and routing) encode to the same digest.
+func TestParallelDeterminism(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 4
+	}
+	for _, sc := range Scenarios(n, 1337) {
+		sc := sc
+		for _, method := range Methods() {
+			method := method
+			t.Run(sc.Name+"/"+method, func(t *testing.T) {
+				t.Parallel()
+				serial, err := Build(sc, method, 1).Digest()
+				if err != nil {
+					t.Fatalf("digest(serial): %v", err)
+				}
+				parallel, err := Build(sc, method, 4).Digest()
+				if err != nil {
+					t.Fatalf("digest(parallel): %v", err)
+				}
+				if serial != parallel {
+					t.Fatalf("parallel build diverged from serial: %s vs %s", parallel, serial)
+				}
+			})
+		}
+	}
+}
+
+// TestScenariosDeterministic guards the harness itself: scenario generation
+// is a pure function of (n, seed).
+func TestScenariosDeterministic(t *testing.T) {
+	a := Scenarios(8, 7)
+	b := Scenarios(8, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Seed != b[i].Seed || a[i].Delta != b[i].Delta {
+			t.Fatalf("scenario %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+		da, err := Build(a[i], MethodPAW, 2).Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Build(b[i], MethodPAW, 2).Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da != db {
+			t.Fatalf("scenario %d: same inputs, different layouts", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"paw/internal/geom"
+)
+
+func testDomain(dims int) geom.Box {
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for d := range hi {
+		hi[d] = float64(100 * (d + 1))
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+func equalWorkloads(a, b Workload) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || !a[i].Box.Equal(b[i].Box) {
+			return fmt.Errorf("query %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// TestGenerateDeterministicAcrossGOMAXPROCS pins the reproducibility
+// contract of seeded generation: the same spec yields the same workload at
+// GOMAXPROCS=1 and at full parallelism, including when many generations run
+// concurrently on other goroutines. Any ordering dependence (shared RNG,
+// map iteration, goroutine fan-out) would break the byte-equality below.
+func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	domain := testDomain(3)
+	specs := []Spec{
+		{Kind: KindUniform, GenParams: Defaults(40, 7)},
+		{Kind: KindSkewed, GenParams: Defaults(40, 7)},
+		{Kind: KindUniform, GenParams: GenParams{NumQueries: 17, MaxRangeFrac: 0.25, Centers: 3, SigmaFrac: 0.4, Seed: -9}},
+		{Kind: KindSkewed, GenParams: GenParams{NumQueries: 33, MaxRangeFrac: 0.05, Centers: 1, SigmaFrac: 0.01, Seed: 123}},
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := make([]Workload, len(specs))
+	for i, s := range specs {
+		serial[i] = Generate(domain, s)
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// Re-generate everything at full parallelism, many times concurrently.
+	const rounds = 8
+	results := make([][]Workload, rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		results[r] = make([]Workload, len(specs))
+		for i, s := range specs {
+			wg.Add(1)
+			go func(r, i int, s Spec) {
+				defer wg.Done()
+				results[r][i] = Generate(domain, s)
+			}(r, i, s)
+		}
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		for i := range specs {
+			if err := equalWorkloads(serial[i], results[r][i]); err != nil {
+				t.Fatalf("spec %d (kind %s) not reproducible at full parallelism: %v",
+					i, specs[i].Kind, err)
+			}
+		}
+	}
+}
+
+// TestDerivedGeneratorsDeterministic covers the derived generators (Future,
+// MixRandom) the simulation harness depends on: same seed, same output,
+// concurrently or not.
+func TestDerivedGeneratorsDeterministic(t *testing.T) {
+	domain := testDomain(2)
+	hist := Generate(domain, Spec{Kind: KindSkewed, GenParams: Defaults(30, 11)})
+
+	futA := Future(hist, 2.5, 2, 99)
+	mixA := MixRandom(hist, domain, 25, 0.1, 99)
+	var futB, mixB Workload
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); futB = Future(hist, 2.5, 2, 99) }()
+	go func() { defer wg.Done(); mixB = MixRandom(hist, domain, 25, 0.1, 99) }()
+	wg.Wait()
+	if err := equalWorkloads(futA, futB); err != nil {
+		t.Fatalf("Future not reproducible: %v", err)
+	}
+	if err := equalWorkloads(mixA, mixB); err != nil {
+		t.Fatalf("MixRandom not reproducible: %v", err)
+	}
+}

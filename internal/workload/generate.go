@@ -25,6 +25,37 @@ type GenParams struct {
 	Seed int64
 }
 
+// Kind names a workload generator family.
+type Kind string
+
+// Generator kinds (Table III).
+const (
+	KindUniform Kind = "uniform"
+	KindSkewed  Kind = "skewed"
+)
+
+// Spec is a declarative workload description: a generator kind plus its
+// parameters. It exists so harnesses (internal/sim, benchmarks, CLIs) can
+// enumerate workloads as data instead of hard-coding generator calls.
+type Spec struct {
+	Kind Kind
+	GenParams
+}
+
+// Generate runs the generator selected by the spec. The result is a pure
+// function of (domain, spec): generation is single-goroutine and seeded, so
+// equal inputs yield equal workloads regardless of GOMAXPROCS or any
+// concurrent generation on other goroutines — a contract the determinism
+// tests pin down.
+func Generate(domain geom.Box, s Spec) Workload {
+	switch s.Kind {
+	case KindSkewed:
+		return Skewed(domain, s.GenParams)
+	default:
+		return Uniform(domain, s.GenParams)
+	}
+}
+
 // Defaults returns the default properties of Table III (γ=10%, #C=10,
 // σ=10% of γ) for the given query count.
 func Defaults(numQueries int, seed int64) GenParams {
