@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench-construction bench-routing
+.PHONY: check build vet test race fuzz bench-construction bench-routing obs-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -26,7 +26,7 @@ test:
 # detector in short mode. Any new fan-out point must pass this before
 # merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/...
 
 # fuzz gives every fuzz target a short budget: the invariant harness
 # (builders must satisfy the oracles on fuzzed scenarios), the δ-estimation
@@ -48,3 +48,11 @@ bench-construction:
 # routing on a sealed 5k-partition layout, tracked across PRs.
 bench-routing:
 	$(GO) run ./cmd/pawbench -routing BENCH_routing.json
+
+# obs-demo exercises the telemetry pipeline end to end: build a layout with
+# the metrics registry attached, emit the structured build report (phase
+# timings, Alg. 1–3 split statistics, tree shape, cost decomposition) and
+# render it. The phase timings must explain >= 90% of the wall time.
+obs-demo:
+	$(GO) run ./cmd/pawcli build -rows 40000 -report build_report.json
+	$(GO) run ./cmd/pawcli stats build_report.json

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"paw/internal/bench"
+	"paw/internal/obs"
 )
 
 // constructionWorkers is the worker sweep recorded in the construction
@@ -18,6 +20,8 @@ var constructionWorkers = []int{1, 2, 4, 8}
 // performance trajectory is tracked across PRs.
 func runConstruction(cfg bench.Config, path string) error {
 	rep := bench.ConstructionBench(cfg, constructionWorkers)
+	rep.Meta.BuildInfo = obs.BuildVersion()
+	rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

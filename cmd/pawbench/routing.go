@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"paw/internal/bench"
+	"paw/internal/obs"
 )
 
 // routingWorkers is the worker sweep of the batched routing mode. The
@@ -18,6 +20,8 @@ var routingWorkers = []int{1, 2, 4, 8}
 // (BENCH_routing.json) so the performance trajectory is tracked across PRs.
 func runRouting(cfg bench.Config, path string) error {
 	rep := bench.RoutingBench(cfg, routingWorkers)
+	rep.Meta.BuildInfo = obs.BuildVersion()
+	rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

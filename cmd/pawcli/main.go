@@ -12,6 +12,13 @@
 //
 //	pawcli -dataset osm -method paw
 //
+// Build a layout with telemetry enabled and emit a structured build report
+// (phase timings, Alg. 1–3 split statistics, tree shape, cost decomposition),
+// then render it:
+//
+//	pawcli build -dataset tpch -rows 120000 -method paw -report build_report.json
+//	pawcli stats build_report.json
+//
 // Validate a persisted layout (written by pawgen) against the paper's
 // sealed-layout invariants — partition geometry, grouped-split semantics and
 // routing-index soundness (internal/invariant):
@@ -33,15 +40,25 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/kdtree"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/qdtree"
 	"paw/internal/router"
 	"paw/internal/workload"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "check" {
-		runCheck(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "check":
+			runCheck(os.Args[2:])
+			return
+		case "build":
+			runBuild(os.Args[2:])
+			return
+		case "stats":
+			runStats(os.Args[2:])
+			return
+		}
 	}
 	var (
 		ds       = flag.String("dataset", "tpch", "dataset: tpch or osm")
@@ -51,8 +68,12 @@ func main() {
 		deltaPct = flag.Float64("delta", 1.0, "δ as %% of the domain")
 		sql      = flag.String("sql", "", "one-shot SQL statement (empty: REPL on stdin)")
 		seed     = flag.Int64("seed", 7, "generator seed")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	if _, err := obs.SetupLogger(*logLevel); err != nil {
+		fatalf("%v", err)
+	}
 
 	var data *dataset.Dataset
 	switch *ds {

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/dist"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/router"
 )
 
@@ -26,8 +28,13 @@ func main() {
 		layoutPath = flag.String("layout", "", "layout file (.pawl)")
 		workers    = flag.String("workers", "", "comma-separated worker addresses")
 		listen     = flag.String("listen", "127.0.0.1:7100", "client listen address")
+		metrics    = flag.String("metrics", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof on this address (e.g. 127.0.0.1:9090); empty disables")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	if _, err := obs.SetupLogger(*logLevel); err != nil {
+		fatalf("%v", err)
+	}
 	if *dataPath == "" || *layoutPath == "" || *workers == "" {
 		fatalf("-data, -layout and -workers are required")
 	}
@@ -61,6 +68,21 @@ func main() {
 	m, err := dist.NewMaster(rm, addrs, place)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *metrics != "" {
+		// One registry for both layers: routing (latency histogram,
+		// partitions/bytes touched) and the distributed path (fan-out,
+		// per-worker call timers, redials, in-flight).
+		reg := obs.New()
+		rm.SetMetrics(reg)
+		m.SetMetrics(reg)
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		defer srv.Close()
+		slog.Info("telemetry enabled", "metrics", "http://"+srv.Addr()+"/metrics",
+			"pprof", "http://"+srv.Addr()+"/debug/pprof/")
 	}
 	addr, err := m.Start(*listen)
 	if err != nil {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 
@@ -20,6 +21,7 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/dist"
 	"paw/internal/layout"
+	"paw/internal/obs"
 )
 
 func main() {
@@ -29,8 +31,13 @@ func main() {
 		index      = flag.Int("index", 0, "this worker's index")
 		workers    = flag.Int("workers", 1, "total worker count")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		metrics    = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address; empty disables")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	if _, err := obs.SetupLogger(*logLevel); err != nil {
+		fatalf("%v", err)
+	}
 	if *dataPath == "" || *layoutPath == "" {
 		fatalf("-data and -layout are required")
 	}
@@ -48,6 +55,16 @@ func main() {
 		}
 	}
 	w := dist.NewWorker(store, mine)
+	if *metrics != "" {
+		reg := obs.New()
+		w.SetMetrics(reg)
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		defer srv.Close()
+		slog.Info("telemetry enabled", "metrics", "http://"+srv.Addr()+"/metrics")
+	}
 	addr, err := w.Start(*listen)
 	if err != nil {
 		fatalf("%v", err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,12 +14,17 @@ import (
 	"paw/internal/blockstore"
 	"paw/internal/dist"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/placement"
 	"paw/internal/router"
 	"paw/internal/workload"
 )
 
 func main() {
+	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090); empty disables")
+	hold := flag.Bool("hold", false, "keep the cluster running after the demo queries (ctrl-C to exit)")
+	flag.Parse()
+
 	const workers = 4
 	data := paw.GenerateTPCH(120_000, 61)
 	hist := paw.UniformWorkload(data.Domain(), 50, 62)
@@ -60,6 +66,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *metrics != "" {
+		reg := obs.New()
+		rm.SetMetrics(reg)
+		m.SetMetrics(reg)
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: curl http://%s/metrics\n", srv.Addr())
+	}
 	maddr, err := m.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -85,4 +102,9 @@ func main() {
 			sql, resp.Rows, resp.PartitionsScanned, float64(resp.BytesScanned)/1e6)
 	}
 	fmt.Printf("\nquery log captured %d range queries for the next rebuild\n", qlog.Len())
+
+	if *hold {
+		fmt.Println("holding cluster open; inspect /metrics, ctrl-C to exit")
+		select {}
+	}
 }

@@ -28,6 +28,7 @@ type ConstructionResult struct {
 // recorded GOMAXPROCS/NumCPU: on a single-core host every worker count
 // collapses to serial execution.
 type ConstructionReport struct {
+	Meta        Meta                 `json:"meta"`
 	GOMAXPROCS  int                  `json:"gomaxprocs"`
 	NumCPU      int                  `json:"num_cpu"`
 	TPCHRows    int                  `json:"tpch_rows"`
@@ -77,6 +78,7 @@ func ConstructionBench(cfg Config, workers []int) ConstructionReport {
 	}
 
 	rep := ConstructionReport{
+		Meta:        Meta{Schema: ConstructionSchema},
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		TPCHRows:    data.NumRows(),

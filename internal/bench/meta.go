@@ -1,0 +1,20 @@
+package bench
+
+// Schema identifiers for the machine-readable benchmark artifacts. Bump the
+// trailing version when a report's shape changes incompatibly so downstream
+// tooling (CI trend charts, pawcli stats) can dispatch on it.
+const (
+	ConstructionSchema = "paw/bench-construction/v1"
+	RoutingSchema      = "paw/bench-routing/v1"
+)
+
+// Meta identifies one benchmark artifact: which schema it follows, which
+// build of the code produced it, and when. BuildInfo and GeneratedAt are
+// supplied by the caller (cmd/pawbench stamps them from the VCS build info
+// and the wall clock) — this package never reads ambient state, so library
+// callers and tests stay deterministic.
+type Meta struct {
+	Schema      string `json:"schema"`
+	BuildInfo   string `json:"build_info,omitempty"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+}

@@ -27,6 +27,7 @@ type RoutingResult struct {
 // relative to the recorded GOMAXPROCS/NumCPU; the indexed-vs-linear speedups
 // are single-threaded and portable.
 type RoutingReport struct {
+	Meta         Meta            `json:"meta"`
 	GOMAXPROCS   int             `json:"gomaxprocs"`
 	NumCPU       int             `json:"num_cpu"`
 	Partitions   int             `json:"partitions"`
@@ -86,6 +87,7 @@ func RoutingBench(cfg Config, workers []int) RoutingReport {
 	}
 
 	rep := RoutingReport{
+		Meta:         Meta{Schema: RoutingSchema},
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
 		Partitions:   l.NumPartitions(),

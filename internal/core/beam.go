@@ -45,16 +45,22 @@ func BuildBeam(data *dataset.Dataset, rows []int, domain geom.Box, hist workload
 	b := newBuilder(data, p.Params)
 
 	root := &beamNode{box: domain, rows: rows, queries: queries}
+	sp := b.m.tConstruct.Start()
 	best := toLayoutNode(b, searchBeam(b, root, p))
 	// Beam pruning can discard a trajectory whose payoff comes late, so the
 	// beam result alone is not guaranteed to beat greedy Algorithm 3. Build
 	// both and keep the cheaper layout under the construction cost model —
 	// beam search then never loses quality, only build time.
-	greedy := b.construct(domain, rows, queries, b.pool.RootSlot())
+	greedy := b.construct(domain, rows, queries, 0, b.pool.RootSlot())
 	if treeCost(greedy, queries) < treeCost(best, queries) {
 		best = greedy
 	}
-	return layout.Seal("paw-beam", best, data.RowBytes())
+	sp.End()
+	b.flushScratchStats()
+	sp = b.m.tSeal.Start()
+	l := layout.Seal("paw-beam", best, data.RowBytes())
+	sp.End()
+	return l
 }
 
 // treeCost evaluates Cost(P, Q*F) of a constructed tree in sample rows.

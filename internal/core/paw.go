@@ -33,6 +33,7 @@ import (
 	"paw/internal/geom"
 	"paw/internal/kdtree"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/parbuild"
 	"paw/internal/qdtree"
 	"paw/internal/workload"
@@ -61,6 +62,12 @@ type Params struct {
 	// runtime.GOMAXPROCS(0), 1 forces a serial build. Any value produces
 	// the same layout; Parallelism only trades build time for cores.
 	Parallelism int
+	// Obs receives construction telemetry: per-phase timers, Alg. 1/2 split
+	// statistics, Ψ(α) policy decisions, bmin expansions and parbuild pool
+	// activity (metric names in internal/layout's Metric* constants). nil
+	// disables instrumentation; the built layout is byte-identical either
+	// way — instruments only observe, they never feed back into decisions.
+	Obs *obs.Registry
 }
 
 func (p Params) withDefaults() Params {
@@ -84,8 +91,14 @@ func Build(data *dataset.Dataset, rows []int, domain geom.Box, hist workload.Wor
 	// distort group MBRs.
 	queries := clipBoxes(ext.Boxes(), domain)
 	b := newBuilder(data, p)
-	root := b.construct(domain, rows, queries, b.pool.RootSlot())
-	return layout.Seal("paw", root, data.RowBytes())
+	sp := b.m.tConstruct.Start()
+	root := b.construct(domain, rows, queries, 0, b.pool.RootSlot())
+	sp.End()
+	b.flushScratchStats()
+	sp = b.m.tSeal.Start()
+	l := layout.Seal("paw", root, data.RowBytes())
+	sp.End()
+	return l
 }
 
 // parAssignMinRows is the row count below which the Multi-Group row
@@ -102,6 +115,46 @@ type builder struct {
 	// scratch is indexed by parbuild worker slot; a slot is held by at most
 	// one goroutine at a time, so entries need no locking.
 	scratch []*buildScratch
+	// m is the optional construction telemetry; the zero value (all-nil
+	// instruments) disables it with no allocations on any path.
+	m buildMetrics
+}
+
+// buildMetrics bundles the construction instruments. All fields are nil when
+// telemetry is disabled; every method call then no-ops on the nil receiver.
+type buildMetrics struct {
+	tConstruct, tSeal, tMulti, tAxis, tRefine   *obs.Timer
+	multiTried, multiAccepted                   *obs.Counter
+	axisEval, axisAccepted                      *obs.Counter
+	expansions, expandFail                      *obs.Counter
+	policyMulti, policyAxisOnly, policyTerminal *obs.Counter
+	nodes, refineCalls                          *obs.Counter
+	maxDepth                                    *obs.Gauge
+}
+
+func newBuildMetrics(reg *obs.Registry) buildMetrics {
+	if reg == nil {
+		return buildMetrics{}
+	}
+	return buildMetrics{
+		tConstruct:     reg.Timer(layout.MetricConstructNs),
+		tSeal:          reg.Timer(layout.MetricSealNs),
+		tMulti:         reg.Timer(layout.MetricMultiNs),
+		tAxis:          reg.Timer(layout.MetricAxisNs),
+		tRefine:        reg.Timer(layout.MetricRefineNs),
+		multiTried:     reg.Counter(layout.MetricMultiTried),
+		multiAccepted:  reg.Counter(layout.MetricMultiAccepted),
+		axisEval:       reg.Counter(layout.MetricAxisEvaluated),
+		axisAccepted:   reg.Counter(layout.MetricAxisAccepted),
+		expansions:     reg.Counter(layout.MetricExpansions),
+		expandFail:     reg.Counter(layout.MetricExpansionFailures),
+		policyMulti:    reg.Counter(layout.MetricPolicyMultiAdmitted),
+		policyAxisOnly: reg.Counter(layout.MetricPolicyAxisOnly),
+		policyTerminal: reg.Counter(layout.MetricPolicyTerminal),
+		nodes:          reg.Counter(layout.MetricNodes),
+		refineCalls:    reg.Counter(layout.MetricRefineCalls),
+		maxDepth:       reg.Gauge(layout.MetricMaxDepth),
+	}
 }
 
 // buildScratch is the per-worker reusable memory of the construction hot
@@ -117,6 +170,7 @@ type buildScratch struct {
 
 func newBuilder(data *dataset.Dataset, p Params) *builder {
 	pool := parbuild.New(p.Parallelism)
+	pool.Instrument(p.Obs)
 	cols := make([][]float64, data.Dims())
 	for d := range cols {
 		cols[d] = data.Column(d)
@@ -127,6 +181,21 @@ func newBuilder(data *dataset.Dataset, p Params) *builder {
 		pool:    pool,
 		cols:    cols,
 		scratch: make([]*buildScratch, pool.Slots()),
+		m:       newBuildMetrics(p.Obs),
+	}
+}
+
+// flushScratchStats folds the per-worker scratch counters (Alg. 2 candidate
+// evaluations accumulated inside qdtree.TopCuts) into the registry. Called
+// once after construction; a disabled build has nothing to flush.
+func (b *builder) flushScratchStats() {
+	if b.m.axisEval == nil {
+		return
+	}
+	for _, sc := range b.scratch {
+		if sc != nil && sc.qd != nil {
+			b.m.axisEval.Add(sc.qd.TakeEvals())
+		}
 	}
 }
 
@@ -168,9 +237,12 @@ func rowIn(cols [][]float64, r int, box geom.Box) bool {
 }
 
 // construct is PAW-Construction (Alg. 3). queries are the extended queries
-// clipped to box; rows are the sample rows inside box. slot identifies the
-// executing worker's scratch (parbuild slot).
-func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box, slot int) *layout.Node {
+// clipped to box; rows are the sample rows inside box. depth is the
+// recursion depth (telemetry only); slot identifies the executing worker's
+// scratch (parbuild slot).
+func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box, depth, slot int) *layout.Node {
+	b.m.nodes.Inc()
+	b.m.maxDepth.SetMax(int64(depth))
 	if len(queries) == 0 {
 		return b.queryFreeLeaf(box, rows)
 	}
@@ -179,23 +251,45 @@ func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box, slot i
 	tryAxis := size >= 2*b.p.MinRows
 	if !tryAxis {
 		// Ψ(Po) = ∅: below 2·bmin nothing can be split.
+		b.m.policyTerminal.Inc()
 		return leaf(box, rows)
+	}
+	// Ψ(α) decision (Eq. 4): which split set this node is offered.
+	if tryMulti {
+		b.m.policyMulti.Inc()
+	} else {
+		b.m.policyAxisOnly.Inc()
 	}
 
 	curCost := int64(len(queries)) * int64(size)
 	var best *splitResult
+	bestIsMulti := false
 	if tryMulti {
-		if r := b.multiGroupSplit(box, rows, queries, slot); r != nil && r.cost < curCost {
+		sp := b.m.tMulti.Start()
+		r := b.multiGroupSplit(box, rows, queries, slot)
+		sp.End()
+		b.m.multiTried.Inc()
+		if r != nil && r.cost < curCost {
 			best = r
+			bestIsMulti = true
 		}
 	}
-	if r := b.axisSplit(box, rows, queries, slot); r != nil && r.cost < curCost {
-		if best == nil || r.cost < best.cost {
-			best = r
+	spAxis := b.m.tAxis.Start()
+	rAxis := b.axisSplit(box, rows, queries, slot)
+	spAxis.End()
+	if rAxis != nil && rAxis.cost < curCost {
+		if best == nil || rAxis.cost < best.cost {
+			best = rAxis
+			bestIsMulti = false
 		}
 	}
 	if best == nil {
 		return leaf(box, rows)
+	}
+	if bestIsMulti {
+		b.m.multiAccepted.Inc()
+	} else {
+		b.m.axisAccepted.Inc()
 	}
 
 	node := &layout.Node{
@@ -211,7 +305,7 @@ func (b *builder) construct(box geom.Box, rows []int, queries []geom.Box, slot i
 			// Q*F(Po), so their cost is already 0 (§IV-D).
 			node.Children[i] = b.irregularLeaf(pc, s)
 		} else {
-			node.Children[i] = b.construct(pc.box, pc.rows, clipBoxes(queries, pc.box), s)
+			node.Children[i] = b.construct(pc.box, pc.rows, clipBoxes(queries, pc.box), depth+1, s)
 		}
 	})
 	return node
@@ -358,8 +452,10 @@ func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box, sc *buildSc
 		return gp, true
 	}
 	if len(rows) < b.p.MinRows {
+		b.m.expandFail.Inc()
 		return gp, false
 	}
+	b.m.expansions.Inc()
 	// Degenerate dimensions (zero radius) can never grow by scaling; give
 	// them a hair of radius relative to the parent's extent so the ranking
 	// remains finite.
@@ -398,6 +494,7 @@ func (b *builder) expandToMin(box geom.Box, rows []int, gp geom.Box, sc *buildSc
 		factor = 1
 	}
 	if factor >= 1e308 {
+		b.m.expandFail.Inc()
 		return gp, false
 	}
 	grown := geom.Box{Lo: make(geom.Point, len(c)), Hi: make(geom.Point, len(c))}
@@ -466,7 +563,11 @@ func (b *builder) medianCuts(box geom.Box, rows []int, sc *buildScratch) []qdtre
 // DataAwareRefine on, it is k-d split to the finest size (§IV-E).
 func (b *builder) queryFreeLeaf(box geom.Box, rows []int) *layout.Node {
 	if b.p.DataAwareRefine && len(rows) >= 2*b.p.MinRows {
-		return kdtree.RefineLeaf(b.data, box, rows, b.p.MinRows, 0)
+		b.m.refineCalls.Inc()
+		sp := b.m.tRefine.Start()
+		n := kdtree.RefineLeaf(b.data, box, rows, b.p.MinRows, 0)
+		sp.End()
+		return n
 	}
 	return leaf(box, rows)
 }
@@ -481,7 +582,11 @@ func (b *builder) irregularLeaf(pc piece, slot int) *layout.Node {
 	if !b.p.DataAwareRefine || len(pc.rows) < 2*b.p.MinRows {
 		return &layout.Node{Desc: pc.desc, Part: &layout.Partition{Desc: pc.desc, SampleRows: pc.rows}}
 	}
-	return b.refineIrregular(ir.Outer, ir.Holes, pc.rows, 0, slot)
+	b.m.refineCalls.Inc()
+	sp := b.m.tRefine.Start()
+	n := b.refineIrregular(ir.Outer, ir.Holes, pc.rows, 0, slot)
+	sp.End()
+	return n
 }
 
 func (b *builder) refineIrregular(outer geom.Box, holes []geom.Box, rows []int, depth, slot int) *layout.Node {

@@ -39,7 +39,7 @@ func TunePolicy(data *dataset.Dataset, rows []int, domain geom.Box, hist workloa
 		params := p
 		params.Alpha = alpha
 		b := newBuilder(data, params)
-		root := b.construct(domain, rows, clipBoxes(train.Extend(p.Delta).Boxes(), domain), b.pool.RootSlot())
+		root := b.construct(domain, rows, clipBoxes(train.Extend(p.Delta).Boxes(), domain), 0, b.pool.RootSlot())
 		cost := treeCost(root, validQ)
 		if bestCost < 0 || cost < bestCost || (cost == bestCost && alpha > bestAlpha) {
 			bestCost = cost

@@ -67,7 +67,7 @@ func TestTunePolicyValidationBeatsWorst(t *testing.T) {
 		params := p.withDefaults()
 		params.Alpha = alpha
 		b := newBuilder(data, params)
-		return treeCost(b.construct(dom, allRows(5000), clipBoxes(train.Extend(p.Delta).Boxes(), dom), b.pool.RootSlot()), validQ)
+		return treeCost(b.construct(dom, allRows(5000), clipBoxes(train.Extend(p.Delta).Boxes(), dom), 0, b.pool.RootSlot()), validQ)
 	}
 	tunedCost := cost(tuned)
 	for _, c := range DefaultAlphaCandidates {

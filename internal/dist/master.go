@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"paw/internal/layout"
 	"paw/internal/router"
@@ -24,6 +25,9 @@ type Master struct {
 	addrs    []string
 	listener net.Listener
 	wg       sync.WaitGroup
+	// m is the optional distributed-path telemetry (SetMetrics); the zero
+	// value is fully disabled.
+	m masterMetrics
 }
 
 // NewMaster wires the router with worker addresses and a placement map.
@@ -73,9 +77,54 @@ func (m *Master) dropWorkerConn(i int) {
 	}
 }
 
+// callWorker performs one scan RPC against worker w with a bounded retry: a
+// call that fails on an established connection drops it, redials once and
+// resends. Scans are read-only and idempotent, so the resend is safe; the
+// single retry covers the common mid-query failure — a worker restarted (or
+// replaced at the same address) while the master held a stale connection —
+// without masking a genuinely dead worker, whose redial fails immediately.
+// A dial failure on a fresh connection is not retried.
+func (m *Master) callWorker(w int, req ScanRequest, resp *ScanResponse) error {
+	c, err := m.workerConn(w)
+	if err != nil {
+		m.m.failures.Inc()
+		return err
+	}
+	sp := m.m.workerTimer(w).Start()
+	err = c.call(req, resp)
+	sp.End()
+	if err == nil {
+		return nil
+	}
+	m.dropWorkerConn(w)
+	m.m.redials.Inc()
+	c, derr := m.workerConn(w)
+	if derr != nil {
+		m.m.failures.Inc()
+		return derr
+	}
+	*resp = ScanResponse{} // the failed call may have partially decoded
+	sp = m.m.workerTimer(w).Start()
+	err = c.call(req, resp)
+	sp.End()
+	if err != nil {
+		m.m.failures.Inc()
+		m.dropWorkerConn(w)
+	}
+	return err
+}
+
 // Query executes one SQL statement: rewrite → route → scatter per worker →
 // gather.
 func (m *Master) Query(sql string) (QueryResponse, error) {
+	var start time.Time
+	if m.m.queries != nil {
+		start = time.Now()
+		m.m.inflight.Add(1)
+		defer m.m.inflight.Add(-1)
+		defer func() { m.m.latency.Observe(float64(time.Since(start))) }()
+		m.m.queries.Inc()
+	}
 	plan, err := m.router.RouteSQL(sql)
 	if err != nil {
 		return QueryResponse{}, err
@@ -89,6 +138,7 @@ func (m *Master) Query(sql string) (QueryResponse, error) {
 			w := m.placement[id]
 			byWorker[w] = append(byWorker[w], id)
 		}
+		m.m.fanout.Observe(float64(len(byWorker)))
 		type result struct {
 			resp ScanResponse
 			err  error
@@ -96,18 +146,9 @@ func (m *Master) Query(sql string) (QueryResponse, error) {
 		results := make(chan result, len(byWorker))
 		for w, ids := range byWorker {
 			go func(w int, ids []layout.ID) {
-				c, err := m.workerConn(w)
-				if err != nil {
-					results <- result{err: err}
-					return
-				}
-				var resp ScanResponse
-				if err := c.call(ScanRequest{Query: rp.Range, IDs: ids}, &resp); err != nil {
-					m.dropWorkerConn(w)
-					results <- result{err: err}
-					return
-				}
-				results <- result{resp: resp}
+				var r result
+				r.err = m.callWorker(w, ScanRequest{Query: rp.Range, IDs: ids}, &r.resp)
+				results <- r
 			}(w, ids)
 		}
 		for range byWorker {

@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"strconv"
+
+	"paw/internal/obs"
+)
+
+// Distributed-path metric names. Per-worker call timers carry a
+// worker="<index>" label (one series per worker; the fleet is small and
+// fixed at master construction).
+const (
+	MetricQueries      = "dist_queries_total"
+	MetricQueryLatency = "dist_query_latency_ns"
+	MetricFanoutWidth  = "dist_fanout_width"
+	MetricWorkerCallNs = "dist_worker_call_ns"
+	MetricRedials      = "dist_worker_redials_total"
+	MetricCallFailures = "dist_worker_call_failures_total"
+	MetricInflight     = "dist_inflight_queries"
+
+	MetricWorkerScans       = "worker_scan_requests_total"
+	MetricWorkerRows        = "worker_rows_matched_total"
+	MetricWorkerBytesRead   = "worker_bytes_read_total"
+	MetricWorkerGroupsRead  = "worker_groups_read_total"
+	MetricWorkerGroupsSkip  = "worker_groups_skipped_total"
+	MetricWorkerConns       = "worker_active_connections"
+	MetricWorkerErrors      = "worker_scan_errors_total"
+	MetricWorkerConnDropped = "worker_dropped_connections_total"
+)
+
+// FanoutBuckets are the histogram bounds for scatter width (workers hit per
+// range).
+func FanoutBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+}
+
+// masterMetrics is the optional master-side telemetry; the zero value is
+// fully disabled (nil instruments no-op).
+type masterMetrics struct {
+	queries     *obs.Counter
+	latency     *obs.Histogram
+	fanout      *obs.Histogram
+	redials     *obs.Counter
+	failures    *obs.Counter
+	inflight    *obs.Gauge
+	workerCalls []*obs.Timer
+}
+
+// SetMetrics attaches (or, with nil, detaches) master telemetry: query
+// latency, per-range fan-out width, one call timer per worker, redial and
+// failure counters, and an in-flight query gauge.
+func (m *Master) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		m.m = masterMetrics{}
+		return
+	}
+	mm := masterMetrics{
+		queries:  reg.Counter(MetricQueries),
+		latency:  reg.Histogram(MetricQueryLatency, obs.LatencyBuckets()),
+		fanout:   reg.Histogram(MetricFanoutWidth, FanoutBuckets()),
+		redials:  reg.Counter(MetricRedials),
+		failures: reg.Counter(MetricCallFailures),
+		inflight: reg.Gauge(MetricInflight),
+	}
+	mm.workerCalls = make([]*obs.Timer, len(m.addrs))
+	for i := range mm.workerCalls {
+		mm.workerCalls[i] = reg.Timer(obs.Label(MetricWorkerCallNs, "worker", strconv.Itoa(i)))
+	}
+	m.m = mm
+}
+
+// workerTimer returns worker i's call timer (nil when disabled — nil timers
+// no-op).
+func (mm *masterMetrics) workerTimer(i int) *obs.Timer {
+	if mm.workerCalls == nil || i >= len(mm.workerCalls) {
+		return nil
+	}
+	return mm.workerCalls[i]
+}
+
+// workerMetrics is the optional worker-side telemetry.
+type workerMetrics struct {
+	scans       *obs.Counter
+	rows        *obs.Counter
+	bytesRead   *obs.Counter
+	groupsRead  *obs.Counter
+	groupsSkip  *obs.Counter
+	errors      *obs.Counter
+	activeConns *obs.Gauge
+	dropped     *obs.Counter
+}
+
+// SetMetrics attaches (or, with nil, detaches) worker telemetry: scan and
+// row/byte counters, active-connection gauge and dropped-connection counter.
+func (w *Worker) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		w.m = workerMetrics{}
+		return
+	}
+	w.m = workerMetrics{
+		scans:       reg.Counter(MetricWorkerScans),
+		rows:        reg.Counter(MetricWorkerRows),
+		bytesRead:   reg.Counter(MetricWorkerBytesRead),
+		groupsRead:  reg.Counter(MetricWorkerGroupsRead),
+		groupsSkip:  reg.Counter(MetricWorkerGroupsSkip),
+		errors:      reg.Counter(MetricWorkerErrors),
+		activeConns: reg.Gauge(MetricWorkerConns),
+		dropped:     reg.Counter(MetricWorkerConnDropped),
+	}
+}

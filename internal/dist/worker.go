@@ -23,6 +23,12 @@ type Worker struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
+	// conns tracks live sessions so Close can terminate connections parked
+	// in Decode (a master holds its connections open between queries;
+	// without this, Close would block on wg.Wait forever).
+	conns map[net.Conn]bool
+	// m is the optional worker telemetry (SetMetrics).
+	m workerMetrics
 }
 
 // NewWorker builds a worker serving the assigned partitions of store.
@@ -31,7 +37,7 @@ func NewWorker(store *blockstore.Store, assigned []layout.ID) *Worker {
 	for _, id := range assigned {
 		m[id] = true
 	}
-	return &Worker{store: store, assigned: m}
+	return &Worker{store: store, assigned: m, conns: make(map[net.Conn]bool)}
 }
 
 // Start begins serving on addr (use "127.0.0.1:0" for tests) and returns
@@ -64,7 +70,34 @@ func (w *Worker) acceptLoop(l net.Listener) {
 	}
 }
 
+// trackConn registers a live session; it reports false when the worker is
+// already closed (the connection must be rejected).
+func (w *Worker) trackConn(c net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.conns[c] = true
+	w.m.activeConns.Add(1)
+	return true
+}
+
+func (w *Worker) untrackConn(c net.Conn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conns[c] {
+		delete(w.conns, c)
+		w.m.activeConns.Add(-1)
+	}
+}
+
 func (w *Worker) serveConn(c net.Conn) {
+	if !w.trackConn(c) {
+		c.Close()
+		return
+	}
+	defer w.untrackConn(c)
 	defer c.Close()
 	dec := gob.NewDecoder(c)
 	enc := gob.NewEncoder(c)
@@ -74,27 +107,32 @@ func (w *Worker) serveConn(c net.Conn) {
 			if !errors.Is(err, io.EOF) && !w.isClosed() {
 				// Connection-level failures end the session; the master
 				// will redial.
+				w.m.dropped.Inc()
 				return
 			}
 			return
 		}
 		resp := w.handle(req)
 		if err := enc.Encode(&resp); err != nil {
+			w.m.dropped.Inc()
 			return
 		}
 	}
 }
 
 func (w *Worker) handle(req ScanRequest) ScanResponse {
+	w.m.scans.Inc()
 	var resp ScanResponse
 	for _, id := range req.IDs {
 		if !w.assigned[id] {
 			resp.Err = fmt.Sprintf("worker does not host partition %d", id)
+			w.m.errors.Inc()
 			return resp
 		}
 		st, err := w.store.ScanPartition(id, req.Query)
 		if err != nil {
 			resp.Err = err.Error()
+			w.m.errors.Inc()
 			return resp
 		}
 		resp.Rows += st.Matched
@@ -102,6 +140,10 @@ func (w *Worker) handle(req ScanRequest) ScanResponse {
 		resp.GroupsRead += st.GroupsRead
 		resp.GroupsSkipped += st.GroupsSkipped
 	}
+	w.m.rows.Add(int64(resp.Rows))
+	w.m.bytesRead.Add(resp.BytesRead)
+	w.m.groupsRead.Add(int64(resp.GroupsRead))
+	w.m.groupsSkip.Add(int64(resp.GroupsSkipped))
 	return resp
 }
 
@@ -111,11 +153,16 @@ func (w *Worker) isClosed() bool {
 	return w.closed
 }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// Close stops the listener, terminates live sessions (masters park
+// connections in Decode between queries — they observe the reset and redial)
+// and waits for the serving goroutines to finish.
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	w.closed = true
 	l := w.listener
+	for c := range w.conns {
+		c.Close()
+	}
 	w.mu.Unlock()
 	var err error
 	if l != nil {

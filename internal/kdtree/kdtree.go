@@ -17,6 +17,7 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/parbuild"
 )
 
@@ -28,6 +29,10 @@ type Params struct {
 	// runtime.GOMAXPROCS(0), 1 forces a serial build. The parallel build
 	// produces a layout identical to the serial one.
 	Parallelism int
+	// Obs receives construction telemetry (layout.Metric* names): phase
+	// timers, node/depth counters and parbuild pool activity. nil disables
+	// instrumentation; the layout is byte-identical either way.
+	Obs *obs.Registry
 }
 
 // Build constructs a k-d tree layout over the given sample rows of data.
@@ -37,9 +42,17 @@ func Build(data *dataset.Dataset, rows []int, domain geom.Box, p Params) *layout
 	if p.MinRows < 1 {
 		p.MinRows = 1
 	}
-	b := newBuilder(data, p.MinRows, parbuild.New(p.Parallelism))
+	pool := parbuild.New(p.Parallelism)
+	pool.Instrument(p.Obs)
+	b := newBuilder(data, p.MinRows, pool)
+	b.m = newBuildMetrics(p.Obs)
+	sp := b.m.tConstruct.Start()
 	root := b.split(domain, rows, 0, b.pool.RootSlot())
-	return layout.Seal("kd-tree", root, data.RowBytes())
+	sp.End()
+	sp = b.m.tSeal.Start()
+	l := layout.Seal("kd-tree", root, data.RowBytes())
+	sp.End()
+	return l
 }
 
 type builder struct {
@@ -49,6 +62,28 @@ type builder struct {
 	// scratch holds one reusable median-sort buffer per worker slot; a slot
 	// is held by at most one goroutine at a time.
 	scratch [][]float64
+	m       buildMetrics
+}
+
+// buildMetrics is the optional construction telemetry; zero value = disabled
+// (all methods no-op on nil instruments).
+type buildMetrics struct {
+	tConstruct, tSeal *obs.Timer
+	nodes, terminal   *obs.Counter
+	maxDepth          *obs.Gauge
+}
+
+func newBuildMetrics(reg *obs.Registry) buildMetrics {
+	if reg == nil {
+		return buildMetrics{}
+	}
+	return buildMetrics{
+		tConstruct: reg.Timer(layout.MetricConstructNs),
+		tSeal:      reg.Timer(layout.MetricSealNs),
+		nodes:      reg.Counter(layout.MetricNodes),
+		terminal:   reg.Counter(layout.MetricPolicyTerminal),
+		maxDepth:   reg.Gauge(layout.MetricMaxDepth),
+	}
 }
 
 func newBuilder(data *dataset.Dataset, minRows int, pool *parbuild.Pool) *builder {
@@ -70,7 +105,10 @@ func (b *builder) valsFor(slot, n int) []float64 {
 
 // split recursively divides box/rows, cycling the split dimension by depth.
 func (b *builder) split(box geom.Box, rows []int, depth, slot int) *layout.Node {
+	b.m.nodes.Inc()
+	b.m.maxDepth.SetMax(int64(depth))
 	if len(rows) < 2*b.minRows {
+		b.m.terminal.Inc()
 		return leaf(box, rows)
 	}
 	dims := b.data.Dims()

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// ParseLevel maps a CLI -log-level string onto a slog.Level. Accepted:
+// debug, info, warn, error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// SetupLogger installs a structured text logger on stderr at the given level
+// as the process default and returns it. CLIs call this once from main so
+// every layer logging through slog honours -log-level.
+func SetupLogger(level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(lg)
+	return lg, nil
+}

@@ -1,0 +1,33 @@
+package obs
+
+import "runtime/debug"
+
+// BuildVersion returns the binary's VCS identity as recorded by the Go
+// toolchain — a `git describe`-style "commit[-dirty]" string — or the main
+// module version when the build carries no VCS stamp (e.g. `go test`).
+// Report writers (pawcli build, pawbench) stamp their JSON artifacts with it
+// so a benchmark file can always be traced back to the code that produced it.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return bi.Main.Version
+}

@@ -22,6 +22,7 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/parbuild"
 )
 
@@ -33,6 +34,11 @@ type Params struct {
 	// runtime.GOMAXPROCS(0), 1 forces a serial build. The parallel build
 	// produces a layout identical to the serial one.
 	Parallelism int
+	// Obs receives construction telemetry (layout.Metric* names): phase
+	// timers, candidate-evaluation and accepted-cut counters, recursion
+	// depth and parbuild pool activity. nil disables instrumentation; the
+	// layout is byte-identical either way.
+	Obs *obs.Registry
 }
 
 // Build constructs a greedy Qd-tree layout for the given workload over the
@@ -42,14 +48,28 @@ func Build(data *dataset.Dataset, rows []int, domain geom.Box, queries []geom.Bo
 		p.MinRows = 1
 	}
 	pool := parbuild.New(p.Parallelism)
+	pool.Instrument(p.Obs)
 	b := &builder{
 		data:    data,
 		minRows: p.MinRows,
 		pool:    pool,
 		scratch: make([]*Scratch, pool.Slots()),
+		m:       newBuildMetrics(p.Obs),
 	}
-	root := b.split(domain, rows, queries, pool.RootSlot())
-	return layout.Seal("qd-tree", root, data.RowBytes())
+	sp := b.m.tConstruct.Start()
+	root := b.split(domain, rows, queries, 0, pool.RootSlot())
+	sp.End()
+	if b.m.axisEval != nil {
+		for _, sc := range b.scratch {
+			if sc != nil {
+				b.m.axisEval.Add(sc.TakeEvals())
+			}
+		}
+	}
+	sp = b.m.tSeal.Start()
+	l := layout.Seal("qd-tree", root, data.RowBytes())
+	sp.End()
+	return l
 }
 
 type builder struct {
@@ -59,6 +79,31 @@ type builder struct {
 	// scratch is indexed by worker slot; a slot is held by at most one
 	// goroutine at a time, so entries need no locking.
 	scratch []*Scratch
+	m       buildMetrics
+}
+
+// buildMetrics is the optional construction telemetry; zero value = disabled
+// (all methods no-op on nil instruments).
+type buildMetrics struct {
+	tConstruct, tSeal      *obs.Timer
+	nodes, axisEval        *obs.Counter
+	axisAccepted, terminal *obs.Counter
+	maxDepth               *obs.Gauge
+}
+
+func newBuildMetrics(reg *obs.Registry) buildMetrics {
+	if reg == nil {
+		return buildMetrics{}
+	}
+	return buildMetrics{
+		tConstruct:   reg.Timer(layout.MetricConstructNs),
+		tSeal:        reg.Timer(layout.MetricSealNs),
+		nodes:        reg.Counter(layout.MetricNodes),
+		axisEval:     reg.Counter(layout.MetricAxisEvaluated),
+		axisAccepted: reg.Counter(layout.MetricAxisAccepted),
+		terminal:     reg.Counter(layout.MetricPolicyTerminal),
+		maxDepth:     reg.Gauge(layout.MetricMaxDepth),
+	}
 }
 
 func (b *builder) scratchFor(slot int) *Scratch {
@@ -130,8 +175,11 @@ func Candidates(box geom.Box, queries []geom.Box) []Cut {
 	return out
 }
 
-func (b *builder) split(box geom.Box, rows []int, queries []geom.Box, slot int) *layout.Node {
+func (b *builder) split(box geom.Box, rows []int, queries []geom.Box, depth, slot int) *layout.Node {
+	b.m.nodes.Inc()
+	b.m.maxDepth.SetMax(int64(depth))
 	if len(rows) < 2*b.minRows || len(queries) == 0 {
+		b.m.terminal.Inc()
 		return leaf(box, rows)
 	}
 	// Current (unsplit) cost: every intersecting query scans all rows.
@@ -140,6 +188,7 @@ func (b *builder) split(box geom.Box, rows []int, queries []geom.Box, slot int) 
 	if !ok || best.Cost >= curCost {
 		return leaf(box, rows)
 	}
+	b.m.axisAccepted.Inc()
 	left, right := SplitRowsN(b.data, rows, best.Cut, best.LeftRows)
 	lbox, rbox := best.Cut.Apply(box)
 	node := &layout.Node{
@@ -148,9 +197,9 @@ func (b *builder) split(box geom.Box, rows []int, queries []geom.Box, slot int) 
 	}
 	b.pool.Fan(slot, 2, func(i, s int) {
 		if i == 0 {
-			node.Children[0] = b.split(lbox, left, clipQueries(queries, lbox), s)
+			node.Children[0] = b.split(lbox, left, clipQueries(queries, lbox), depth+1, s)
 		} else {
-			node.Children[1] = b.split(rbox, right, clipQueries(queries, rbox), s)
+			node.Children[1] = b.split(rbox, right, clipQueries(queries, rbox), depth+1, s)
 		}
 	})
 	return node
@@ -163,6 +212,19 @@ func (b *builder) split(box geom.Box, rows []int, queries []geom.Box, slot int) 
 type Scratch struct {
 	rowVals, qLo, qHi []float64
 	seen              map[Cut]bool
+	// evals counts the unique candidate cuts evaluated by TopCuts on this
+	// scratch since the last TakeEvals. Plain int64 — a scratch is
+	// single-goroutine by contract — so the hot path pays one increment.
+	evals int64
+}
+
+// TakeEvals returns and resets the candidate-evaluation count. Builders with
+// telemetry enabled drain every worker's scratch into the Alg. 2 counter
+// (layout.MetricAxisEvaluated) once construction finishes.
+func (sc *Scratch) TakeEvals() int64 {
+	n := sc.evals
+	sc.evals = 0
+	return n
 }
 
 // NewScratch returns an empty scratch; buffers grow on first use and are
@@ -250,6 +312,7 @@ func TopCuts(data *dataset.Dataset, box geom.Box, rows []int, queries []geom.Box
 				return
 			}
 			seen[c] = true
+			sc.evals++
 			leftRows := countLE(rowVals, c.LeftHi)
 			rightRows := total - leftRows
 			if leftRows < minRows || rightRows < minRows {

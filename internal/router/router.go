@@ -8,6 +8,7 @@ package router
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"paw/internal/geom"
 	"paw/internal/layout"
@@ -20,6 +21,9 @@ type Master struct {
 	extras   layout.Extras
 	rewriter *sqlrew.Rewriter
 	recorder func(geom.Box)
+	// m is the optional routing telemetry (SetMetrics); the zero value is
+	// fully disabled and keeps the hot path allocation-free.
+	m metrics
 }
 
 // SetRecorder installs a callback invoked with every routed range query —
@@ -149,6 +153,10 @@ func (m *Master) routeRanges(ranges []geom.Box) (Plan, error) {
 // layer must scan). The recorder and extras are applied exactly as in
 // RouteRange.
 func (m *Master) RoutePartitions(dst []layout.ID, q geom.Box) (parts []layout.ID, extra int) {
+	var start time.Time
+	if m.m.enabled {
+		start = time.Now()
+	}
 	if m.recorder != nil {
 		m.recorder(q)
 	}
@@ -165,9 +173,17 @@ func (m *Master) RoutePartitions(dst []layout.ID, q geom.Box) (parts []layout.ID
 		}
 	}
 	if extra >= 0 {
+		if m.m.enabled {
+			m.observeRoute(start, nil, extra)
+		}
 		return dst, extra
 	}
-	return m.layout.AppendPartitionsFor(dst, q), -1
+	pre := len(dst)
+	parts = m.layout.AppendPartitionsFor(dst, q)
+	if m.m.enabled {
+		m.observeRoute(start, parts[pre:], -1)
+	}
+	return parts, -1
 }
 
 // MemoryFootprint returns the master's in-memory metadata size in bytes:

@@ -19,6 +19,7 @@ import (
 	"paw/internal/invariant"
 	"paw/internal/kdtree"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/qdtree"
 	"paw/internal/tuner"
 	"paw/internal/workload"
@@ -128,23 +129,32 @@ func Scenarios(n int, baseSeed int64) []Scenario {
 // at the given parallelism. Identical inputs must yield byte-identical
 // layouts at any parallelism — the harness asserts this via layout.Digest.
 func Build(sc Scenario, method string, parallelism int) *layout.Layout {
+	return BuildObserved(sc, method, parallelism, nil)
+}
+
+// BuildObserved is Build with construction telemetry attached to reg (nil
+// disables it, making this identical to Build). Telemetry is strictly
+// observational: the digest oracle asserts layouts are byte-identical with
+// it on or off.
+func BuildObserved(sc Scenario, method string, parallelism int, reg *obs.Registry) *layout.Layout {
 	var l *layout.Layout
 	switch method {
 	case MethodPAW:
 		l = core.Build(sc.Data, sc.Sample, sc.Domain, sc.Hist, core.Params{
 			MinRows: sc.MinRows, Alpha: sc.Alpha, Delta: sc.Delta,
-			DataAwareRefine: sc.Refine, Parallelism: parallelism,
+			DataAwareRefine: sc.Refine, Parallelism: parallelism, Obs: reg,
 		})
 	case MethodQdTree:
 		l = qdtree.Build(sc.Data, sc.Sample, sc.Domain, sc.Hist.Extend(sc.Delta).Boxes(),
-			qdtree.Params{MinRows: sc.MinRows, Parallelism: parallelism})
+			qdtree.Params{MinRows: sc.MinRows, Parallelism: parallelism, Obs: reg})
 	case MethodKdTree:
 		l = kdtree.Build(sc.Data, sc.Sample, sc.Domain,
-			kdtree.Params{MinRows: sc.MinRows, Parallelism: parallelism})
+			kdtree.Params{MinRows: sc.MinRows, Parallelism: parallelism, Obs: reg})
 	case MethodBeam:
 		l = core.BuildBeam(sc.Data, sc.Sample, sc.Domain, sc.Hist, core.BeamParams{
 			Params: core.Params{
-				MinRows: sc.MinRows, Alpha: sc.Alpha, Delta: sc.Delta, Parallelism: parallelism,
+				MinRows: sc.MinRows, Alpha: sc.Alpha, Delta: sc.Delta,
+				Parallelism: parallelism, Obs: reg,
 			},
 			Width: 2, Branch: 2,
 		})

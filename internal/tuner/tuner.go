@@ -10,7 +10,28 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/obs"
 )
+
+// Tuner metric names. The gain histogram records Eq. 5's gain of every
+// accepted replica (a dimensionless saved-bytes/spent-bytes ratio); the
+// budget gauges expose consumption so an operator can see how much of the
+// spare space the greedy loop actually spent.
+const (
+	MetricCandidates      = "tuner_candidates_total"
+	MetricReplicas        = "tuner_replicas_selected_total"
+	MetricReplicaBytes    = "tuner_replica_bytes_total"
+	MetricBudgetBytes     = "tuner_budget_bytes"
+	MetricBudgetRemaining = "tuner_budget_remaining_bytes"
+	MetricGain            = "tuner_replica_gain"
+)
+
+// GainBuckets are the histogram bounds for Eq. 5 gain ratios: a gain below 1
+// means the replica saves less than it costs (the greedy loop never accepts
+// those), and focused workloads routinely reach gains in the hundreds.
+func GainBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
 
 // Select runs the greedy algorithm of §V-B: candidates are the extended
 // queries' regions; gains follow Eq. 5 and are recomputed after every pick
@@ -19,6 +40,28 @@ import (
 //
 // The returned extras are ready to pass to Layout.QueryCost.
 func Select(l *layout.Layout, data *dataset.Dataset, queries []geom.Box, budgetBytes int64) layout.Extras {
+	return SelectObserved(l, data, queries, budgetBytes, nil)
+}
+
+// SelectObserved is Select with telemetry: per-replica gain observations,
+// replica and byte counts, and budget consumption gauges. reg may be nil
+// (equivalent to Select); the selection itself is identical either way.
+func SelectObserved(l *layout.Layout, data *dataset.Dataset, queries []geom.Box, budgetBytes int64, reg *obs.Registry) layout.Extras {
+	var (
+		cReplicas, cBytes *obs.Counter
+		gBudget, gRemain  *obs.Gauge
+		hGain             *obs.Histogram
+	)
+	if reg != nil {
+		reg.Counter(MetricCandidates).Add(int64(len(queries)))
+		cReplicas = reg.Counter(MetricReplicas)
+		cBytes = reg.Counter(MetricReplicaBytes)
+		gBudget = reg.Gauge(MetricBudgetBytes)
+		gRemain = reg.Gauge(MetricBudgetRemaining)
+		hGain = reg.Histogram(MetricGain, GainBuckets())
+		gBudget.Set(budgetBytes)
+		gRemain.Set(budgetBytes)
+	}
 	if budgetBytes <= 0 || len(queries) == 0 {
 		return nil
 	}
@@ -78,6 +121,10 @@ func Select(l *layout.Layout, data *dataset.Dataset, queries []geom.Box, budgetB
 		}
 		cands[bestJ].taken = true
 		remaining -= cands[bestJ].bytes
+		cReplicas.Inc()
+		cBytes.Add(cands[bestJ].bytes)
+		gRemain.Set(remaining)
+		hGain.Observe(bestG)
 		out = append(out, layout.Extra{
 			Box:      cands[bestJ].box,
 			FullRows: cands[bestJ].bytes / data.RowBytes(),
