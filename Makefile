@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench-construction bench-routing obs-demo
+.PHONY: check build vet test race chaos fuzz bench-construction bench-routing obs-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -26,7 +26,15 @@ test:
 # detector in short mode. Any new fan-out point must pass this before
 # merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/...
+
+# chaos runs the deterministic fault-injection suite (DESIGN.md §10) under
+# the race detector: every TestChaos* scenario drives the distributed path
+# through faultnet scripts on a fixed seed matrix and asserts the intended
+# recovery — bounded retry+backoff, replica failover, breaker trip and
+# probe, deadline expiry without goroutine leaks, and partial results.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/dist/... ./internal/faultnet/...
 
 # fuzz gives every fuzz target a short budget: the invariant harness
 # (builders must satisfy the oracles on fuzzed scenarios), the δ-estimation

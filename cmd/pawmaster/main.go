@@ -5,6 +5,12 @@
 //
 //	pawmaster -data data.pawd -layout layout.pawl \
 //	          -workers 127.0.0.1:7101,127.0.0.1:7102 -listen 127.0.0.1:7100
+//
+// With -replicas R > 1 the master places replica r of partition p on worker
+// (p+r) mod W and fails scans over to the next live replica when a worker is
+// down; pawworker must be started with the same -replicas value so every
+// process derives the same placement without coordination. The retry,
+// backoff and breaker flags tune the failure handling of DESIGN.md §10.
 package main
 
 import (
@@ -14,11 +20,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"paw/internal/dataset"
 	"paw/internal/dist"
 	"paw/internal/layout"
 	"paw/internal/obs"
+	"paw/internal/placement"
 	"paw/internal/router"
 )
 
@@ -30,6 +38,18 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:7100", "client listen address")
 		metrics    = flag.String("metrics", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof on this address (e.g. 127.0.0.1:9090); empty disables")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		replicas     = flag.Int("replicas", 1, "copies per partition; replica r of partition p lives on worker (p+r) mod workers (pawworker needs the same value)")
+		partial      = flag.Bool("partial", false, "answer from surviving replicas when a partition is lost instead of failing the query")
+		callTimeout  = flag.Duration("call-timeout", 5*time.Second, "per-scan-RPC timeout, dial included (0: only the query deadline bounds calls)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "whole-query timeout when the client sends no deadline (0: unbounded)")
+		retries      = flag.Int("retries", 2, "attempts per worker call before giving up on that replica")
+		retryBudget  = flag.Int("retry-budget", 16, "total retries one query may spend across all its calls (0: unlimited)")
+		backoff      = flag.Duration("backoff", 5*time.Millisecond, "base backoff between attempts (doubled per retry, jittered)")
+		maxBackoff   = flag.Duration("max-backoff", 500*time.Millisecond, "backoff ceiling")
+		retrySeed    = flag.Int64("retry-seed", 1, "seed for the backoff jitter (fixed seeds reproduce schedules)")
+		breakerN     = flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit breaker")
+		breakerCool  = flag.Duration("breaker-cooldown", 500*time.Millisecond, "time an open breaker waits before admitting a probe")
 	)
 	flag.Parse()
 	if _, err := obs.SetupLogger(*logLevel); err != nil {
@@ -61,14 +81,33 @@ func main() {
 		fatalf("%v", err)
 	}
 	addrs := strings.Split(*workers, ",")
-	place := make(map[layout.ID]int, len(l.Parts))
-	for _, p := range l.Parts {
-		place[p.ID] = int(p.ID) % len(addrs)
+	if *replicas < 1 || *replicas > len(addrs) {
+		fatalf("-replicas %d out of range for %d workers", *replicas, len(addrs))
 	}
-	m, err := dist.NewMaster(rm, addrs, place)
+	rep := make(placement.Replicated, len(l.Parts))
+	for _, p := range l.Parts {
+		for r := 0; r < *replicas; r++ {
+			rep[p.ID] = append(rep[p.ID], (int(p.ID)+r)%len(addrs))
+		}
+	}
+	m, err := dist.NewMasterReplicated(rm, addrs, rep)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	m.Configure(dist.Config{
+		Retry: dist.RetryPolicy{
+			MaxAttempts:      *retries,
+			QueryRetryBudget: *retryBudget,
+			BaseBackoff:      *backoff,
+			MaxBackoff:       *maxBackoff,
+			Seed:             *retrySeed,
+			BreakerThreshold: *breakerN,
+			BreakerCooldown:  *breakerCool,
+		},
+		CallTimeout:  *callTimeout,
+		QueryTimeout: *queryTimeout,
+		AllowPartial: *partial,
+	})
 	if *metrics != "" {
 		// One registry for both layers: routing (latency histogram,
 		// partitions/bytes touched) and the distributed path (fan-out,

@@ -2,11 +2,13 @@
 // REPL reading statements from stdin.
 //
 //	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t WHERE l_quantity >= 10"
-//	pawsql -connect 127.0.0.1:7100
+//	pawsql -connect 127.0.0.1:7100 -timeout 2s -partial
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,8 @@ func main() {
 	var (
 		connect = flag.String("connect", "127.0.0.1:7100", "master address")
 		sql     = flag.String("sql", "", "one-shot SQL statement (empty: REPL)")
+		timeout = flag.Duration("timeout", 0, "per-query deadline, shipped to the master and enforced on every worker scan (0: master default)")
+		partial = flag.Bool("partial", false, "accept partial results when partitions are unreachable (failed partitions are reported)")
 	)
 	flag.Parse()
 	c, err := dist.Dial(*connect)
@@ -27,17 +31,33 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer c.Close()
+	c.SetAllowPartial(*partial)
 
 	run := func(stmt string) {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
 		start := time.Now()
-		resp, err := c.Query(stmt)
+		resp, err := c.QueryContext(ctx, stmt)
+		cancel()
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The deadline interrupted the exchange mid-message; the gob
+				// stream is poisoned and must be re-established.
+				fatalf("connection poisoned by the deadline; re-run pawsql")
+			}
 			return
 		}
 		fmt.Printf("%d rows (%d sub-queries, %d partitions, %.2f MB read) in %v\n",
 			resp.Rows, resp.SubQueries, resp.PartitionsScanned,
 			float64(resp.BytesScanned)/1e6, time.Since(start).Round(time.Microsecond))
+		if resp.Partial {
+			fmt.Printf("PARTIAL: %d partition(s) unreachable: %v\n",
+				len(resp.FailedPartitions), resp.FailedPartitions)
+		}
 	}
 	if *sql != "" {
 		run(*sql)

@@ -1,8 +1,9 @@
 // Command pawworker hosts a share of a partitioned dataset and serves scan
 // requests from a pawmaster. Workers take the dataset and layout files
 // produced by pawgen; partition ownership is round-robin by convention
-// (partition id mod workers == index), so all processes agree without
-// coordination.
+// (replica r of partition p lives on worker (p+r) mod workers), so all
+// processes agree without coordination. Start every worker and the master
+// with the same -replicas value to enable failover.
 //
 //	pawgen gen -dataset tpch -rows 120000 -out data.pawd
 //	pawgen partition -in data.pawd -method paw -layout-out layout.pawl
@@ -30,6 +31,7 @@ func main() {
 		layoutPath = flag.String("layout", "", "layout file (.pawl)")
 		index      = flag.Int("index", 0, "this worker's index")
 		workers    = flag.Int("workers", 1, "total worker count")
+		replicas   = flag.Int("replicas", 1, "copies per partition; this worker hosts partition p when (p+r) mod workers == index for some r < replicas (match pawmaster)")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
 		metrics    = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address; empty disables")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -44,14 +46,20 @@ func main() {
 	if *index < 0 || *index >= *workers {
 		fatalf("index %d out of range for %d workers", *index, *workers)
 	}
+	if *replicas < 1 || *replicas > *workers {
+		fatalf("-replicas %d out of range for %d workers", *replicas, *workers)
+	}
 	data := loadData(*dataPath)
 	l := loadLayout(*layoutPath)
 	store := blockstore.Materialize(l, data, blockstore.Config{})
 
 	var mine []layout.ID
 	for _, p := range l.Parts {
-		if int(p.ID)%*workers == *index {
-			mine = append(mine, p.ID)
+		for r := 0; r < *replicas; r++ {
+			if (int(p.ID)+r)%*workers == *index {
+				mine = append(mine, p.ID)
+				break
+			}
 		}
 	}
 	w := dist.NewWorker(store, mine)

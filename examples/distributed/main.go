@@ -3,12 +3,18 @@
 // routing metadata, and a SQL client — all in one process over loopback.
 // The master also records every routed range into a query log, the
 // production source of the "historical workload" for the next layout build.
+//
+// The placement is replicated under a storage budget (the §V-B tuner
+// direction): hot partitions get a second copy on another worker, and the
+// demo kills a worker mid-run to show the master failing scans over to the
+// surviving replicas.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"paw"
 	"paw/internal/blockstore"
@@ -37,13 +43,26 @@ func main() {
 	}
 	store := blockstore.Materialize(l, data, blockstore.Config{})
 
-	// Workload-aware placement (future work §VII-2), then one worker per
-	// placement bucket.
+	// Workload-aware placement (future work §VII-2), then replicas for the
+	// hottest partitions under a storage budget of half the dataset: the
+	// spare copies are what the master fails over to when a worker dies.
 	assign := placement.Optimize(l, hist.Boxes(), workers)
-	perWorker := make([][]layout.ID, workers)
-	for id, w := range assign {
-		perWorker[w] = append(perWorker[w], id)
+	var totalBytes int64
+	for _, p := range l.Parts {
+		totalBytes += p.Bytes()
 	}
+	rep := placement.Replicate(l, hist.Boxes(), workers, assign, totalBytes/2)
+	var copies int
+	for _, ws := range rep {
+		copies += len(ws) - 1
+	}
+	perWorker := make([][]layout.ID, workers)
+	for id, ws := range rep {
+		for _, w := range ws {
+			perWorker[w] = append(perWorker[w], id)
+		}
+	}
+	fleet := make([]*dist.Worker, workers)
 	addrs := make([]string, workers)
 	for w := 0; w < workers; w++ {
 		wk := dist.NewWorker(store, perWorker[w])
@@ -52,9 +71,12 @@ func main() {
 			log.Fatal(err)
 		}
 		defer wk.Close()
+		fleet[w] = wk
 		addrs[w] = addr
 		fmt.Printf("worker %d: %d partitions on %s\n", w, len(perWorker[w]), addr)
 	}
+	fmt.Printf("replication: %d spare copies within a %.2f MB budget\n",
+		copies, float64(totalBytes/2)/1e6)
 
 	rm, err := router.NewMaster(l, data.Names())
 	if err != nil {
@@ -62,14 +84,18 @@ func main() {
 	}
 	var qlog workload.Log
 	rm.SetRecorder(qlog.Record)
-	m, err := dist.NewMaster(rm, addrs, assign)
+	m, err := dist.NewMasterReplicated(rm, addrs, rep)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := dist.DefaultConfig()
+	cfg.CallTimeout = 2 * time.Second
+	cfg.Retry.BaseBackoff = 5 * time.Millisecond
+	m.Configure(cfg)
+	reg := obs.New()
+	rm.SetMetrics(reg)
+	m.SetMetrics(reg)
 	if *metrics != "" {
-		reg := obs.New()
-		rm.SetMetrics(reg)
-		m.SetMetrics(reg)
 		srv, err := obs.Serve(*metrics, reg)
 		if err != nil {
 			log.Fatal(err)
@@ -100,6 +126,33 @@ func main() {
 		}
 		fmt.Printf("%s\n  -> %d rows from %d partitions (%.2f MB over the wire-side scans)\n",
 			sql, resp.Rows, resp.PartitionsScanned, float64(resp.BytesScanned)/1e6)
+	}
+
+	// Failover demo: kill one worker and re-run a query from a client that
+	// opted into partial results. Partitions whose primary died are scanned
+	// on their replicas; partitions the budget left single-copy are reported
+	// as failed instead of sinking the whole query.
+	fmt.Printf("\nkilling worker 0 (%s) ...\n", addrs[0])
+	fleet[0].Close()
+	survivor, err := dist.Dial(maddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer survivor.Close()
+	survivor.SetAllowPartial(true)
+	resp, err := survivor.Query("SELECT * FROM lineitem WHERE l_quantity >= 10 AND l_quantity <= 20")
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	fmt.Printf("  -> %d rows from %d partitions; %d scans failed over, %d redials, %d breaker trips\n",
+		resp.Rows, resp.PartitionsScanned, snap.Counter(dist.MetricFailovers),
+		snap.Counter(dist.MetricRedials), snap.Counter(dist.MetricBreakerTrips))
+	if resp.Partial {
+		fmt.Printf("  -> partial: %d partition(s) had no surviving replica: %v\n",
+			len(resp.FailedPartitions), resp.FailedPartitions)
+	} else {
+		fmt.Println("  -> exact: every lost partition had a replica")
 	}
 	fmt.Printf("\nquery log captured %d range queries for the next rebuild\n", qlog.Len())
 

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -173,7 +174,7 @@ func TestWorkerRejectsForeignPartition(t *testing.T) {
 	}
 	defer c.Close()
 	var resp ScanResponse
-	if err := c.conn.call(ScanRequest{Query: data.Domain(), IDs: []layout.ID{l.Parts[1].ID}}, &resp); err != nil {
+	if err := c.conn.call(context.Background(), ScanRequest{Query: data.Domain(), IDs: []layout.ID{l.Parts[1].ID}}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Err == "" {

@@ -1,69 +1,133 @@
 package dist
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/placement"
 	"paw/internal/router"
 )
 
+// Config tunes the master's failure handling. The zero value means "use the
+// defaults" (DefaultConfig); Configure must be called before Start.
+type Config struct {
+	// Retry is the worker-call retry/backoff/breaker policy.
+	Retry RetryPolicy
+	// CallTimeout bounds one scan RPC, including the dial (0: no per-call
+	// bound beyond the query deadline).
+	CallTimeout time.Duration
+	// QueryTimeout bounds a whole query when the caller's context carries no
+	// deadline of its own (0: unbounded).
+	QueryTimeout time.Duration
+	// AllowPartial makes partial results the default for queries issued
+	// directly on the master; networked clients opt in per request
+	// (QueryRequest.AllowPartial).
+	AllowPartial bool
+}
+
+// DefaultConfig returns the production defaults: the default retry policy, a
+// 5s per-call timeout and a 30s query timeout.
+func DefaultConfig() Config {
+	return Config{
+		Retry:        DefaultRetryPolicy(),
+		CallTimeout:  5 * time.Second,
+		QueryTimeout: 30 * time.Second,
+	}
+}
+
 // Master is the networked master node: it owns the routing metadata (via
-// router.Master), knows which worker hosts which partition, and scatters
-// scan work over persistent worker connections.
+// router.Master), knows which workers host each partition (primary plus
+// failover replicas), and scatters scan work over persistent worker
+// connections with deadlines, bounded retries and breaker-guarded failover.
 type Master struct {
-	router    *router.Master
-	placement map[layout.ID]int // partition -> worker index
+	router   *router.Master
+	replicas placement.Replicated // partition -> replica set, primary first
+	cfg      Config
+	jit      *jitter
+	breakers []breaker
+	seq      atomic.Uint64 // request-ID source
 
 	mu       sync.Mutex
 	workers  []*conn
 	addrs    []string
 	listener net.Listener
+	closed   bool
 	wg       sync.WaitGroup
 	// m is the optional distributed-path telemetry (SetMetrics); the zero
 	// value is fully disabled.
 	m masterMetrics
 }
 
-// NewMaster wires the router with worker addresses and a placement map.
-// Every partition of the layout must be placed on a valid worker.
-func NewMaster(r *router.Master, workerAddrs []string, placement map[layout.ID]int) (*Master, error) {
-	for id, w := range placement {
-		if w < 0 || w >= len(workerAddrs) {
-			return nil, fmt.Errorf("dist: partition %d placed on invalid worker %d", id, w)
-		}
+// NewMaster wires the router with worker addresses and a single-copy
+// placement map. Every partition of the layout must be placed on a valid
+// worker. For replica-aware placement use NewMasterReplicated.
+func NewMaster(r *router.Master, workerAddrs []string, place map[layout.ID]int) (*Master, error) {
+	return NewMasterReplicated(r, workerAddrs, placement.Assignment(place).Replicated())
+}
+
+// NewMasterReplicated wires the router with a replicated placement: each
+// partition's scan goes to the first (primary) worker of its set and fails
+// over down the list when the primary is down or its breaker is open.
+func NewMasterReplicated(r *router.Master, workerAddrs []string, rep placement.Replicated) (*Master, error) {
+	if err := rep.Validate(r.Layout(), len(workerAddrs)); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
 	}
-	for _, p := range r.Layout().Parts {
-		if _, ok := placement[p.ID]; !ok {
-			return nil, fmt.Errorf("dist: partition %d has no placement", p.ID)
-		}
-	}
+	cfg := DefaultConfig()
+	cfg.Retry = cfg.Retry.normalized()
 	m := &Master{
-		router:    r,
-		placement: placement,
-		workers:   make([]*conn, len(workerAddrs)),
-		addrs:     append([]string(nil), workerAddrs...),
+		router:   r,
+		replicas: rep,
+		cfg:      cfg,
+		jit:      newJitter(cfg.Retry.Seed),
+		breakers: make([]breaker, len(workerAddrs)),
+		workers:  make([]*conn, len(workerAddrs)),
+		addrs:    append([]string(nil), workerAddrs...),
 	}
 	return m, nil
 }
 
+// Configure replaces the failure-handling configuration. Zero fields of the
+// retry policy fall back to their defaults. Call before Start; the master
+// does not support reconfiguration while queries are in flight.
+func (m *Master) Configure(cfg Config) {
+	cfg.Retry = cfg.Retry.normalized()
+	m.cfg = cfg
+	m.jit = newJitter(cfg.Retry.Seed)
+}
+
 // workerConn returns (dialing lazily) the persistent connection to worker i.
-func (m *Master) workerConn(i int) (*conn, error) {
+// The dial respects ctx's deadline.
+func (m *Master) workerConn(ctx context.Context, i int) (*conn, error) {
+	m.mu.Lock()
+	if m.workers[i] != nil {
+		c := m.workers[i]
+		m.mu.Unlock()
+		return c, nil
+	}
+	m.mu.Unlock()
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", m.addrs[i])
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], ctxErr(ctx, err))
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.workers[i] != nil {
+		// A concurrent caller won the dial race; keep theirs.
+		nc.Close()
 		return m.workers[i], nil
 	}
-	c, err := net.Dial("tcp", m.addrs[i])
-	if err != nil {
-		return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], err)
-	}
-	m.workers[i] = newConn(c)
+	m.workers[i] = newConn(nc)
 	return m.workers[i], nil
 }
 
@@ -77,46 +141,112 @@ func (m *Master) dropWorkerConn(i int) {
 	}
 }
 
-// callWorker performs one scan RPC against worker w with a bounded retry: a
-// call that fails on an established connection drops it, redials once and
-// resends. Scans are read-only and idempotent, so the resend is safe; the
-// single retry covers the common mid-query failure — a worker restarted (or
-// replaced at the same address) while the master held a stale connection —
-// without masking a genuinely dead worker, whose redial fails immediately.
-// A dial failure on a fresh connection is not retried.
-func (m *Master) callWorker(w int, req ScanRequest, resp *ScanResponse) error {
-	c, err := m.workerConn(w)
-	if err != nil {
-		m.m.failures.Inc()
-		return err
-	}
-	sp := m.m.workerTimer(w).Start()
-	err = c.call(req, resp)
-	sp.End()
-	if err == nil {
-		return nil
-	}
-	m.dropWorkerConn(w)
-	m.m.redials.Inc()
-	c, derr := m.workerConn(w)
-	if derr != nil {
-		m.m.failures.Inc()
-		return derr
-	}
-	*resp = ScanResponse{} // the failed call may have partially decoded
-	sp = m.m.workerTimer(w).Start()
-	err = c.call(req, resp)
-	sp.End()
-	if err != nil {
-		m.m.failures.Inc()
-		m.dropWorkerConn(w)
-	}
-	return err
+// errWorkerUnhealthy is returned when a worker's breaker short-circuits the
+// call without touching the network.
+type errWorkerUnhealthy struct{ w int }
+
+func (e errWorkerUnhealthy) Error() string {
+	return fmt.Sprintf("dist: worker %d unhealthy (breaker open)", e.w)
 }
 
-// Query executes one SQL statement: rewrite → route → scatter per worker →
-// gather.
+// callWorker performs one scan RPC against worker w under the retry policy:
+// per-call deadlines, breaker admission, exponential backoff with seeded
+// jitter between attempts, and a per-query retry budget. Scans are read-only
+// and idempotent, so resends are safe. budget may be nil (no query budget).
+func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *ScanResponse, budget *atomic.Int64) error {
+	req.Seq = m.seq.Add(1)
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ok, probe := m.breakers[w].allow(m.cfg.Retry, time.Now())
+		if !ok {
+			m.m.breakerShorts.Inc()
+			return errWorkerUnhealthy{w}
+		}
+		if probe {
+			m.m.breakerProbes.Inc()
+		}
+		cctx := ctx
+		cancel := func() {}
+		if m.cfg.CallTimeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, m.cfg.CallTimeout)
+		}
+		if d, ok := cctx.Deadline(); ok {
+			req.Deadline = d.UnixNano()
+		}
+		c, err := m.workerConn(cctx, w)
+		if err == nil {
+			*resp = ScanResponse{} // a failed prior attempt may have partially decoded
+			sp := m.m.workerTimer(w).Start()
+			err = c.call(cctx, req, resp)
+			sp.End()
+		}
+		cancel()
+		if err == nil {
+			m.breakers[w].success()
+			return nil
+		}
+		m.dropWorkerConn(w)
+		m.m.redials.Inc()
+		if ctx.Err() != nil {
+			// The query itself is done (deadline or sibling cancellation):
+			// the worker is not to blame, and retrying is pointless.
+			m.m.failures.Inc()
+			return err
+		}
+		if m.breakers[w].failure(m.cfg.Retry, time.Now()) {
+			m.m.breakerTrips.Inc()
+		}
+		if attempt+1 >= m.cfg.Retry.MaxAttempts {
+			m.m.failures.Inc()
+			return err
+		}
+		if budget != nil && budget.Add(-1) < 0 {
+			m.m.failures.Inc()
+			return fmt.Errorf("dist: query retry budget exhausted: %w", err)
+		}
+		m.m.retries.Inc()
+		if serr := sleepCtx(ctx, m.jit.backoff(m.cfg.Retry, attempt)); serr != nil {
+			m.m.failures.Inc()
+			return serr
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx's error in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Query executes one SQL statement with the background context (the
+// configured QueryTimeout still applies): rewrite → route → scatter per
+// worker → gather, with retry, failover and the configured partial-results
+// default.
 func (m *Master) Query(sql string) (QueryResponse, error) {
+	return m.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a caller-supplied context: the deadline (or
+// the configured QueryTimeout when the context has none) is threaded through
+// every scatter RPC down to the workers' scan loops, and a cancellation
+// interrupts in-flight calls.
+func (m *Master) QueryContext(ctx context.Context, sql string) (QueryResponse, error) {
+	return m.query(ctx, sql, m.cfg.AllowPartial)
+}
+
+func (m *Master) query(ctx context.Context, sql string, allowPartial bool) (QueryResponse, error) {
 	var start time.Time
 	if m.m.queries != nil {
 		start = time.Now()
@@ -125,55 +255,195 @@ func (m *Master) Query(sql string) (QueryResponse, error) {
 		defer func() { m.m.latency.Observe(float64(time.Since(start))) }()
 		m.m.queries.Inc()
 	}
+	if _, ok := ctx.Deadline(); !ok && m.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.QueryTimeout)
+		defer cancel()
+	}
 	plan, err := m.router.RouteSQL(sql)
 	if err != nil {
 		return QueryResponse{}, err
 	}
 	var total QueryResponse
 	total.SubQueries = len(plan.Ranges)
+	var budget *atomic.Int64
+	if n := m.cfg.Retry.QueryRetryBudget; n > 0 {
+		budget = new(atomic.Int64)
+		budget.Store(int64(n))
+	}
 	for _, rp := range plan.Ranges {
-		// Group this range's partitions by worker.
-		byWorker := make(map[int][]layout.ID)
-		for _, id := range rp.Parts {
-			w := m.placement[id]
-			byWorker[w] = append(byWorker[w], id)
-		}
-		m.m.fanout.Observe(float64(len(byWorker)))
-		type result struct {
-			resp ScanResponse
-			err  error
-		}
-		results := make(chan result, len(byWorker))
-		for w, ids := range byWorker {
-			go func(w int, ids []layout.ID) {
-				var r result
-				r.err = m.callWorker(w, ScanRequest{Query: rp.Range, IDs: ids}, &r.resp)
-				results <- r
-			}(w, ids)
-		}
-		for range byWorker {
-			r := <-results
-			if r.err != nil {
-				return QueryResponse{}, r.err
+		failed, cause, err := m.scatterRange(ctx, rp.Range, rp.Parts, budget, allowPartial, &total)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				m.m.deadlines.Inc()
 			}
-			if r.resp.Err != "" {
-				return QueryResponse{}, errors.New(r.resp.Err)
-			}
-			total.Rows += r.resp.Rows
-			total.BytesScanned += r.resp.BytesRead
+			return QueryResponse{}, err
 		}
-		total.PartitionsScanned += len(rp.Parts)
+		if len(failed) > 0 {
+			if !allowPartial {
+				return QueryResponse{}, cause
+			}
+			total.FailedPartitions = append(total.FailedPartitions, failed...)
+		}
+		total.PartitionsScanned += len(rp.Parts) - len(failed)
+	}
+	if len(total.FailedPartitions) > 0 {
+		sort.Slice(total.FailedPartitions, func(i, j int) bool {
+			return total.FailedPartitions[i] < total.FailedPartitions[j]
+		})
+		total.Partial = true
+		m.m.partials.Inc()
 	}
 	return total, nil
 }
 
+// pickWorker chooses the next worker to scan partition id on: the first
+// untried replica whose breaker admits calls, else the first untried replica
+// at all (it will consume the breaker probe or fail fast), else -1 when the
+// replica set is exhausted.
+func (m *Master) pickWorker(id layout.ID, tried map[int]bool) int {
+	now := time.Now()
+	first := -1
+	for _, w := range m.replicas[id] {
+		if tried[w] {
+			continue
+		}
+		if first < 0 {
+			first = w
+		}
+		if m.breakers[w].healthy(m.cfg.Retry, now) {
+			return w
+		}
+	}
+	return first
+}
+
+// scatterRange fans one range query out to the workers covering its
+// partitions and gathers the results, failing partitions over to their
+// replicas in rounds. It returns the partitions no replica could serve
+// together with the first underlying failure; err is non-nil only for a hard
+// abort (context done). In-flight sibling RPCs are cancelled as soon as the
+// range is known to fail, and the scatter always drains its goroutines
+// before returning.
+func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, budget *atomic.Int64, allowPartial bool, total *QueryResponse) (failed []layout.ID, cause, err error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pending := ids
+	var tried map[layout.ID]map[int]bool // lazily allocated: only on failure
+	for round := 0; len(pending) > 0; round++ {
+		byWorker := make(map[int][]layout.ID)
+		for _, id := range pending {
+			w := m.pickWorker(id, tried[id])
+			if w < 0 {
+				failed = append(failed, id)
+				continue
+			}
+			if round > 0 {
+				m.m.failovers.Inc()
+			}
+			byWorker[w] = append(byWorker[w], id)
+		}
+		if len(failed) > 0 && !allowPartial {
+			// Some partition's replicas are exhausted (only possible after a
+			// failure round, so cause is set) and the query cannot go
+			// partial: don't spend another scatter on a lost range.
+			for _, bids := range byWorker {
+				failed = append(failed, bids...)
+			}
+			return failed, cause, nil
+		}
+		if len(byWorker) == 0 {
+			break
+		}
+		if round == 0 {
+			m.m.fanout.Observe(float64(len(byWorker)))
+		}
+		type result struct {
+			w    int
+			ids  []layout.ID
+			resp ScanResponse
+			err  error
+		}
+		results := make(chan result, len(byWorker))
+		for w, bids := range byWorker {
+			go func(w int, bids []layout.ID) {
+				var r result
+				r.w, r.ids = w, bids
+				r.err = m.callWorker(sctx, w, ScanRequest{Query: q, IDs: bids}, &r.resp, budget)
+				results <- r
+			}(w, bids)
+		}
+		var next []layout.ID
+		fatal := false
+		for range byWorker {
+			r := <-results
+			if r.err == nil && r.resp.Err == "" {
+				total.Rows += r.resp.Rows
+				total.BytesScanned += r.resp.BytesRead
+				continue
+			}
+			ferr := r.err
+			if ferr == nil {
+				ferr = errors.New(r.resp.Err)
+			}
+			if cause == nil {
+				cause = fmt.Errorf("dist: worker %d scanning %d partition(s): %w", r.w, len(r.ids), ferr)
+			}
+			retryable := false
+			for _, id := range r.ids {
+				if tried == nil {
+					tried = make(map[layout.ID]map[int]bool)
+				}
+				if tried[id] == nil {
+					tried[id] = make(map[int]bool)
+				}
+				tried[id][r.w] = true
+				next = append(next, id)
+				if m.pickWorker(id, tried[id]) >= 0 {
+					retryable = true
+				}
+			}
+			if !retryable && !allowPartial {
+				// No replica left for at least one partition and the query
+				// cannot go partial: cancel the in-flight siblings; keep
+				// draining.
+				fatal = true
+				cancel()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if fatal {
+			return append(failed, next...), cause, nil
+		}
+		pending = next
+	}
+	return failed, cause, nil
+}
+
 // Start serves the client protocol on addr and returns the bound address.
 func (m *Master) Start(addr string) (string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", errors.New("dist: master is closed")
+	}
+	if m.listener != nil {
+		m.mu.Unlock()
+		return "", errors.New("dist: master already started")
+	}
+	m.mu.Unlock()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		l.Close()
+		return "", errors.New("dist: master is closed")
+	}
 	m.listener = l
 	m.mu.Unlock()
 	m.wg.Add(1)
@@ -201,24 +471,39 @@ func (m *Master) serveClient(c net.Conn) {
 	for {
 		var req QueryRequest
 		if err := dec.Decode(&req); err != nil {
+			// EOF is the client hanging up cleanly; anything else is a
+			// dropped session worth counting.
 			if !errors.Is(err, io.EOF) {
-				return
+				m.m.clientsDropped.Inc()
 			}
 			return
 		}
-		resp, err := m.Query(req.SQL)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if req.TimeoutMillis > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		}
+		resp, err := m.query(ctx, req.SQL, req.AllowPartial || m.cfg.AllowPartial)
+		cancel()
 		if err != nil {
 			resp = QueryResponse{Err: err.Error()}
 		}
 		if err := enc.Encode(&resp); err != nil {
+			m.m.clientsDropped.Inc()
 			return
 		}
 	}
 }
 
-// Close shuts down the client listener and worker connections.
+// Close shuts down the client listener and worker connections. Close is
+// idempotent; it waits for in-flight client sessions to finish.
 func (m *Master) Close() error {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
 	l := m.listener
 	for i, w := range m.workers {
 		if w != nil {
@@ -238,6 +523,8 @@ func (m *Master) Close() error {
 // Client speaks SQL to a master over TCP.
 type Client struct {
 	conn *conn
+	// allowPartial opts future queries into partial results (SetAllowPartial).
+	allowPartial bool
 }
 
 // Dial connects to a master.
@@ -249,10 +536,34 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: newConn(c)}, nil
 }
 
-// Query runs one SQL statement.
+// SetAllowPartial opts this client's queries into partial results: when no
+// replica of a partition survives, the master answers from the rest and
+// reports the failures in QueryResponse.FailedPartitions instead of erroring.
+// Call before issuing queries; not safe concurrently with Query.
+func (c *Client) SetAllowPartial(v bool) { c.allowPartial = v }
+
+// Query runs one SQL statement with no client-side deadline (the master's
+// configured QueryTimeout still applies).
 func (c *Client) Query(sql string) (QueryResponse, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext runs one SQL statement under ctx. A context deadline is both
+// enforced locally (the read/write deadlines on the connection) and shipped
+// to the master, which threads it through every worker scan. After a
+// deadline or cancellation error the connection is poisoned mid-message;
+// the client must be re-dialed.
+func (c *Client) QueryContext(ctx context.Context, sql string) (QueryResponse, error) {
+	req := QueryRequest{SQL: sql, AllowPartial: c.allowPartial}
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMillis = ms
+	}
 	var resp QueryResponse
-	if err := c.conn.call(QueryRequest{SQL: sql}, &resp); err != nil {
+	if err := c.conn.call(ctx, req, &resp); err != nil {
 		return QueryResponse{}, err
 	}
 	if resp.Err != "" {

@@ -18,14 +18,27 @@ const (
 	MetricCallFailures = "dist_worker_call_failures_total"
 	MetricInflight     = "dist_inflight_queries"
 
-	MetricWorkerScans       = "worker_scan_requests_total"
-	MetricWorkerRows        = "worker_rows_matched_total"
-	MetricWorkerBytesRead   = "worker_bytes_read_total"
-	MetricWorkerGroupsRead  = "worker_groups_read_total"
-	MetricWorkerGroupsSkip  = "worker_groups_skipped_total"
-	MetricWorkerConns       = "worker_active_connections"
-	MetricWorkerErrors      = "worker_scan_errors_total"
-	MetricWorkerConnDropped = "worker_dropped_connections_total"
+	// Failure-model counters (DESIGN.md §10): every retry, failover and
+	// breaker transition on the distributed path is counted, so the chaos
+	// suite can assert each injected fault maps to its intended recovery.
+	MetricRetries         = "dist_worker_call_retries_total"
+	MetricFailovers       = "dist_partition_failovers_total"
+	MetricBreakerTrips    = "dist_breaker_trips_total"
+	MetricBreakerProbes   = "dist_breaker_probes_total"
+	MetricBreakerShorts   = "dist_breaker_short_circuits_total"
+	MetricDeadlineExpired = "dist_query_deadline_expired_total"
+	MetricPartialResults  = "dist_partial_results_total"
+	MetricClientsDropped  = "dist_client_sessions_dropped_total"
+
+	MetricWorkerScans         = "worker_scan_requests_total"
+	MetricWorkerRows          = "worker_rows_matched_total"
+	MetricWorkerBytesRead     = "worker_bytes_read_total"
+	MetricWorkerGroupsRead    = "worker_groups_read_total"
+	MetricWorkerGroupsSkip    = "worker_groups_skipped_total"
+	MetricWorkerConns         = "worker_active_connections"
+	MetricWorkerErrors        = "worker_scan_errors_total"
+	MetricWorkerConnDropped   = "worker_dropped_connections_total"
+	MetricWorkerDeadlineDrops = "worker_deadline_dropped_scans_total"
 )
 
 // FanoutBuckets are the histogram bounds for scatter width (workers hit per
@@ -37,30 +50,48 @@ func FanoutBuckets() []float64 {
 // masterMetrics is the optional master-side telemetry; the zero value is
 // fully disabled (nil instruments no-op).
 type masterMetrics struct {
-	queries     *obs.Counter
-	latency     *obs.Histogram
-	fanout      *obs.Histogram
-	redials     *obs.Counter
-	failures    *obs.Counter
-	inflight    *obs.Gauge
-	workerCalls []*obs.Timer
+	queries        *obs.Counter
+	latency        *obs.Histogram
+	fanout         *obs.Histogram
+	redials        *obs.Counter
+	failures       *obs.Counter
+	inflight       *obs.Gauge
+	retries        *obs.Counter
+	failovers      *obs.Counter
+	breakerTrips   *obs.Counter
+	breakerProbes  *obs.Counter
+	breakerShorts  *obs.Counter
+	deadlines      *obs.Counter
+	partials       *obs.Counter
+	clientsDropped *obs.Counter
+	workerCalls    []*obs.Timer
 }
 
 // SetMetrics attaches (or, with nil, detaches) master telemetry: query
 // latency, per-range fan-out width, one call timer per worker, redial and
-// failure counters, and an in-flight query gauge.
+// failure counters, an in-flight query gauge, and the failure-model
+// counters (retries, failovers, breaker transitions, deadline expiries,
+// partial results, dropped client sessions).
 func (m *Master) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		m.m = masterMetrics{}
 		return
 	}
 	mm := masterMetrics{
-		queries:  reg.Counter(MetricQueries),
-		latency:  reg.Histogram(MetricQueryLatency, obs.LatencyBuckets()),
-		fanout:   reg.Histogram(MetricFanoutWidth, FanoutBuckets()),
-		redials:  reg.Counter(MetricRedials),
-		failures: reg.Counter(MetricCallFailures),
-		inflight: reg.Gauge(MetricInflight),
+		queries:        reg.Counter(MetricQueries),
+		latency:        reg.Histogram(MetricQueryLatency, obs.LatencyBuckets()),
+		fanout:         reg.Histogram(MetricFanoutWidth, FanoutBuckets()),
+		redials:        reg.Counter(MetricRedials),
+		failures:       reg.Counter(MetricCallFailures),
+		inflight:       reg.Gauge(MetricInflight),
+		retries:        reg.Counter(MetricRetries),
+		failovers:      reg.Counter(MetricFailovers),
+		breakerTrips:   reg.Counter(MetricBreakerTrips),
+		breakerProbes:  reg.Counter(MetricBreakerProbes),
+		breakerShorts:  reg.Counter(MetricBreakerShorts),
+		deadlines:      reg.Counter(MetricDeadlineExpired),
+		partials:       reg.Counter(MetricPartialResults),
+		clientsDropped: reg.Counter(MetricClientsDropped),
 	}
 	mm.workerCalls = make([]*obs.Timer, len(m.addrs))
 	for i := range mm.workerCalls {
@@ -80,14 +111,15 @@ func (mm *masterMetrics) workerTimer(i int) *obs.Timer {
 
 // workerMetrics is the optional worker-side telemetry.
 type workerMetrics struct {
-	scans       *obs.Counter
-	rows        *obs.Counter
-	bytesRead   *obs.Counter
-	groupsRead  *obs.Counter
-	groupsSkip  *obs.Counter
-	errors      *obs.Counter
-	activeConns *obs.Gauge
-	dropped     *obs.Counter
+	scans         *obs.Counter
+	rows          *obs.Counter
+	bytesRead     *obs.Counter
+	groupsRead    *obs.Counter
+	groupsSkip    *obs.Counter
+	errors        *obs.Counter
+	activeConns   *obs.Gauge
+	dropped       *obs.Counter
+	deadlineDrops *obs.Counter
 }
 
 // SetMetrics attaches (or, with nil, detaches) worker telemetry: scan and
@@ -98,13 +130,14 @@ func (w *Worker) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	w.m = workerMetrics{
-		scans:       reg.Counter(MetricWorkerScans),
-		rows:        reg.Counter(MetricWorkerRows),
-		bytesRead:   reg.Counter(MetricWorkerBytesRead),
-		groupsRead:  reg.Counter(MetricWorkerGroupsRead),
-		groupsSkip:  reg.Counter(MetricWorkerGroupsSkip),
-		errors:      reg.Counter(MetricWorkerErrors),
-		activeConns: reg.Gauge(MetricWorkerConns),
-		dropped:     reg.Counter(MetricWorkerConnDropped),
+		scans:         reg.Counter(MetricWorkerScans),
+		rows:          reg.Counter(MetricWorkerRows),
+		bytesRead:     reg.Counter(MetricWorkerBytesRead),
+		groupsRead:    reg.Counter(MetricWorkerGroupsRead),
+		groupsSkip:    reg.Counter(MetricWorkerGroupsSkip),
+		errors:        reg.Counter(MetricWorkerErrors),
+		activeConns:   reg.Gauge(MetricWorkerConns),
+		dropped:       reg.Counter(MetricWorkerConnDropped),
+		deadlineDrops: reg.Counter(MetricWorkerDeadlineDrops),
 	}
 }

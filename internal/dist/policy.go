@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy governs how the master treats worker-call failures: bounded
+// per-call attempts with exponential backoff and deterministic (seeded)
+// jitter, a per-query retry budget shared by all of a query's scatter RPCs,
+// and a per-worker consecutive-failure breaker that short-circuits dials to
+// a worker that keeps failing until a cooldown probe succeeds.
+type RetryPolicy struct {
+	// MaxAttempts bounds the attempts of one scan RPC, including the first
+	// (minimum 1; the default 2 preserves the historical dial-once/redial-once
+	// behavior).
+	MaxAttempts int
+	// QueryRetryBudget caps the total retries (attempts beyond the first) a
+	// single query may spend across all its scatter RPCs. <= 0 means
+	// unlimited within MaxAttempts.
+	QueryRetryBudget int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it (Multiplier) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// Seed feeds the jitter source, making backoff sequences reproducible;
+	// the same seed and failure order yield the same delays.
+	Seed int64
+	// BreakerThreshold is the number of consecutive failures that trips a
+	// worker's breaker (0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker short-circuits calls
+	// before allowing a single probe through.
+	BreakerCooldown time.Duration
+}
+
+// DefaultRetryPolicy returns the production defaults: 2 attempts per call,
+// a 16-retry query budget, 5ms..500ms exponential backoff, and a 3-failure
+// breaker with a 500ms probe cooldown.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      2,
+		QueryRetryBudget: 16,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       500 * time.Millisecond,
+		Multiplier:       2,
+		Seed:             1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  500 * time.Millisecond,
+	}
+}
+
+// normalized fills zero fields with their defaults so a partially-specified
+// policy behaves sanely.
+func (p RetryPolicy) normalized() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = def.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = def.Multiplier
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = def.BreakerCooldown
+	}
+	return p
+}
+
+// jitter is the master's seeded backoff-jitter source; a mutex serialises
+// the rand.Rand (scatter goroutines back off concurrently).
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter(seed int64) *jitter {
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// backoff returns the delay before retry number retry (0-based): the policy's
+// exponential curve scaled into [50%, 100%] by the seeded jitter source.
+func (j *jitter) backoff(p RetryPolicy, retry int) time.Duration {
+	d := float64(p.BaseBackoff)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	j.mu.Lock()
+	f := 0.5 + 0.5*j.rng.Float64()
+	j.mu.Unlock()
+	return time.Duration(d * f)
+}
+
+// breaker states. closed admits calls; open short-circuits them; half-open
+// admits exactly one probe whose outcome decides the next state.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-worker consecutive-failure circuit breaker.
+type breaker struct {
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+}
+
+// allow reports whether a call to the worker may proceed. An open breaker
+// past its cooldown transitions to half-open and admits the caller as the
+// probe; probe reports whether this call is that probe.
+func (b *breaker) allow(p RetryPolicy, now time.Time) (ok, probe bool) {
+	if p.BreakerThreshold <= 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= p.BreakerCooldown {
+			b.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: a probe is already in flight
+		return false, false
+	}
+}
+
+// healthy is a side-effect-free peek used for replica selection: a worker is
+// healthy when its breaker would admit a call right now.
+func (b *breaker) healthy(p RetryPolicy, now time.Time) bool {
+	if p.BreakerThreshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed ||
+		(b.state == breakerOpen && now.Sub(b.openedAt) >= p.BreakerCooldown)
+}
+
+// success records a successful call: the breaker closes and the failure run
+// resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed call and reports whether this failure tripped the
+// breaker (closed past the threshold, or a failed half-open probe).
+func (b *breaker) failure(p RetryPolicy, now time.Time) (tripped bool) {
+	if p.BreakerThreshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == breakerHalfOpen ||
+		(b.state == breakerClosed && b.consecutive >= p.BreakerThreshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	if b.state == breakerOpen {
+		// Concurrent failures while open keep it open; refresh the window.
+		b.openedAt = now
+	}
+	return false
+}

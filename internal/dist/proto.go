@@ -9,13 +9,22 @@
 // end-to-end times under a disk model, while dist actually moves the scan
 // work across processes/sockets — the same separation the paper has between
 // its cost model (Eq. 1–2) and its Spark deployment.
+//
+// The path is failure-hardened end to end (DESIGN.md §10): every call
+// carries a deadline over the wire, the master retries with seeded
+// exponential backoff under a per-query budget, per-worker breakers
+// short-circuit dials to unhealthy workers, scans fail over to partition
+// replicas, and clients may opt into partial results when no replica of a
+// partition survives.
 package dist
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"paw/internal/geom"
 	"paw/internal/layout"
@@ -26,20 +35,39 @@ import (
 type ScanRequest struct {
 	Query geom.Box
 	IDs   []layout.ID
+	// Seq is the master-assigned request ID, echoed in logs/errors so a
+	// retried call is attributable across hosts.
+	Seq uint64
+	// Deadline is the absolute call deadline in Unix nanoseconds (0: none).
+	// A worker drops partitions it cannot start before the deadline instead
+	// of doing work the master has already given up on.
+	Deadline int64
 }
 
-// ScanResponse reports the scan outcome.
+// ScanResponse reports the scan outcome. On a per-partition failure the
+// telemetry fields keep the totals accumulated before the failing partition
+// (they are informational; the master never aggregates a failed response).
 type ScanResponse struct {
 	Rows          int
 	BytesRead     int64
 	GroupsRead    int
 	GroupsSkipped int
 	Err           string
+	// FailedPartition is the partition that produced Err, or -1 when the
+	// response is clean (or the failure was not partition-specific).
+	FailedPartition int64
 }
 
-// QueryRequest is the client-to-master message: one SQL statement.
+// QueryRequest is the client-to-master message: one SQL statement plus the
+// client's failure-handling preferences.
 type QueryRequest struct {
 	SQL string
+	// TimeoutMillis bounds the whole query on the master (0: master default).
+	TimeoutMillis int64
+	// AllowPartial opts into partial results: when every replica of a
+	// partition is down the master answers from the surviving partitions and
+	// reports the failed ones instead of failing the query.
+	AllowPartial bool
 }
 
 // QueryResponse is the master's reply after scattering the scan work.
@@ -49,6 +77,11 @@ type QueryResponse struct {
 	PartitionsScanned int
 	SubQueries        int
 	Err               string
+	// Partial reports that some partitions were unreachable and the result
+	// covers only the rest (only when the request allowed partial results).
+	Partial bool
+	// FailedPartitions lists the partitions no replica could serve.
+	FailedPartitions []layout.ID
 }
 
 // conn wraps a TCP connection with its gob codec pair and a mutex so
@@ -64,17 +97,45 @@ func newConn(c net.Conn) *conn {
 	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
 
-// call performs one request/response round trip.
-func (c *conn) call(req, resp any) error {
+// call performs one request/response round trip under ctx: the context
+// deadline maps to SetReadDeadline/SetWriteDeadline on the connection, and a
+// cancellation mid-call interrupts the blocked I/O the same way, so a hung
+// peer can never wedge the caller. A call that fails poisons the gob stream;
+// the caller must drop the connection and redial.
+func (c *conn) call(ctx context.Context, req, resp any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("dist: call aborted: %w", err)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.c.SetDeadline(d)
+	} else {
+		c.c.SetDeadline(time.Time{})
+	}
+	// A cancellation (sibling failure, client gone) interrupts in-flight
+	// reads/writes by expiring the connection deadline.
+	stop := context.AfterFunc(ctx, func() {
+		c.c.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
 	if err := c.enc.Encode(req); err != nil {
-		return fmt.Errorf("dist: sending request: %w", err)
+		return fmt.Errorf("dist: sending request: %w", ctxErr(ctx, err))
 	}
 	if err := c.dec.Decode(resp); err != nil {
-		return fmt.Errorf("dist: reading response: %w", err)
+		return fmt.Errorf("dist: reading response: %w", ctxErr(ctx, err))
 	}
 	return nil
+}
+
+// ctxErr substitutes the context's error for an I/O error caused by the
+// deadline interrupt, so callers can distinguish "deadline expired" from a
+// genuinely broken peer with errors.Is.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 func (c *conn) Close() error { return c.c.Close() }

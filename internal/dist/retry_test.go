@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 
 	"paw/internal/blockstore"
@@ -137,7 +138,7 @@ func TestWorkerMetricsCountScans(t *testing.T) {
 	}
 	defer c.Close()
 	var resp ScanResponse
-	if err := c.conn.call(ScanRequest{Query: data.Domain(), IDs: ids}, &resp); err != nil {
+	if err := c.conn.call(context.Background(), ScanRequest{Query: data.Domain(), IDs: ids}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Err != "" {

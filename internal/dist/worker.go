@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"paw/internal/blockstore"
 	"paw/internal/layout"
@@ -47,12 +48,30 @@ func (w *Worker) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if err := w.Serve(l); err != nil {
+		l.Close()
+		return "", err
+	}
+	return l.Addr().String(), nil
+}
+
+// Serve begins serving scan sessions on an existing listener — the
+// fault-injection suites wrap a loopback listener in faultnet before handing
+// it over. The worker owns l from here on and closes it on Close. Serving on
+// a closed or already-started worker is an error.
+func (w *Worker) Serve(l net.Listener) error {
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("dist: worker is closed")
+	}
+	if w.listener != nil {
+		return errors.New("dist: worker already started")
+	}
 	w.listener = l
-	w.mu.Unlock()
 	w.wg.Add(1)
 	go w.acceptLoop(l)
-	return l.Addr().String(), nil
+	return nil
 }
 
 func (w *Worker) acceptLoop(l net.Listener) {
@@ -104,11 +123,10 @@ func (w *Worker) serveConn(c net.Conn) {
 	for {
 		var req ScanRequest
 		if err := dec.Decode(&req); err != nil {
+			// Connection-level failures end the session; the master will
+			// redial. A clean EOF or our own Close is not a drop.
 			if !errors.Is(err, io.EOF) && !w.isClosed() {
-				// Connection-level failures end the session; the master
-				// will redial.
 				w.m.dropped.Inc()
-				return
 			}
 			return
 		}
@@ -120,20 +138,37 @@ func (w *Worker) serveConn(c net.Conn) {
 	}
 }
 
+// handle executes one scan batch. A per-partition failure stops the batch
+// and names the failing partition, but the telemetry for the partitions
+// already scanned is flushed regardless — a partial batch still did real
+// I/O. The wire deadline is honored between partitions: work the master has
+// already abandoned is dropped instead of scanned.
 func (w *Worker) handle(req ScanRequest) ScanResponse {
 	w.m.scans.Inc()
-	var resp ScanResponse
+	resp := ScanResponse{FailedPartition: -1}
+	var deadline time.Time
+	if req.Deadline > 0 {
+		deadline = time.Unix(0, req.Deadline)
+	}
 	for _, id := range req.IDs {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			resp.Err = fmt.Sprintf("scan deadline exceeded at partition %d (req %d)", id, req.Seq)
+			resp.FailedPartition = int64(id)
+			w.m.deadlineDrops.Inc()
+			break
+		}
 		if !w.assigned[id] {
 			resp.Err = fmt.Sprintf("worker does not host partition %d", id)
+			resp.FailedPartition = int64(id)
 			w.m.errors.Inc()
-			return resp
+			break
 		}
 		st, err := w.store.ScanPartition(id, req.Query)
 		if err != nil {
 			resp.Err = err.Error()
+			resp.FailedPartition = int64(id)
 			w.m.errors.Inc()
-			return resp
+			break
 		}
 		resp.Rows += st.Matched
 		resp.BytesRead += st.BytesRead
@@ -155,9 +190,13 @@ func (w *Worker) isClosed() bool {
 
 // Close stops the listener, terminates live sessions (masters park
 // connections in Decode between queries — they observe the reset and redial)
-// and waits for the serving goroutines to finish.
+// and waits for the serving goroutines to finish. Close is idempotent.
 func (w *Worker) Close() error {
 	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
 	w.closed = true
 	l := w.listener
 	for c := range w.conns {

@@ -1,0 +1,56 @@
+package invariant
+
+import (
+	"paw/internal/layout"
+	"paw/internal/placement"
+)
+
+// OracleReplication tags violations of the replicated-placement contract.
+const OracleReplication = "replication"
+
+// CheckReplication verifies a replicated placement (the failure-aware
+// partition → replica-set extension of the §VII placement direction) against
+// its layout and worker fleet:
+//
+//   - every partition of the layout has at least one copy;
+//   - every worker index is in [0, workers) and no set lists a worker twice
+//     (a replica on the primary's worker is no failover at all);
+//   - when primary is non-nil, the first entry of each set matches it — the
+//     replication step must not silently move primaries the placement
+//     optimizer chose;
+//   - when budgetBytes >= 0, the spare storage spent on non-primary copies
+//     stays within it, mirroring the storage tuner's budget contract (§V-B).
+func CheckReplication(l *layout.Layout, rep placement.Replicated, workers int, primary placement.Assignment, budgetBytes int64) error {
+	var extra int64
+	for _, p := range l.Parts {
+		ws := rep[p.ID]
+		if len(ws) == 0 {
+			return violationf(OracleReplication, "partition %d has no replica set", p.ID)
+		}
+		seen := make(map[int]bool, len(ws))
+		for _, w := range ws {
+			if w < 0 || w >= workers {
+				return violationf(OracleReplication,
+					"partition %d placed on invalid worker %d (fleet size %d)", p.ID, w, workers)
+			}
+			if seen[w] {
+				return violationf(OracleReplication,
+					"partition %d lists worker %d twice", p.ID, w)
+			}
+			seen[w] = true
+		}
+		if primary != nil {
+			if want, ok := primary[p.ID]; ok && ws[0] != want {
+				return violationf(OracleReplication,
+					"partition %d primary moved: placement says worker %d, replica set leads with %d",
+					p.ID, want, ws[0])
+			}
+		}
+		extra += p.Bytes() * int64(len(ws)-1)
+	}
+	if budgetBytes >= 0 && extra > budgetBytes {
+		return violationf(OracleReplication,
+			"replica copies occupy %d bytes, budget is %d", extra, budgetBytes)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Replicated maps every partition to its replica set: the primary worker
+// first, then failover replicas on distinct workers. It is the
+// failure-aware extension of Assignment — the master scans a partition on
+// its primary and fails over down the list when the primary is unreachable
+// or its breaker is open.
+type Replicated map[layout.ID][]int
+
+// Primary projects the replica sets back to a plain Assignment (the first
+// worker of each set).
+func (r Replicated) Primary() Assignment {
+	out := make(Assignment, len(r))
+	for id, ws := range r {
+		if len(ws) > 0 {
+			out[id] = ws[0]
+		}
+	}
+	return out
+}
+
+// ReplicaBytes returns the spare storage the non-primary copies occupy.
+func (r Replicated) ReplicaBytes(l *layout.Layout) int64 {
+	var total int64
+	for _, p := range l.Parts {
+		if n := len(r[p.ID]); n > 1 {
+			total += p.Bytes() * int64(n-1)
+		}
+	}
+	return total
+}
+
+// Validate checks the structural contract: every layout partition has at
+// least one copy, worker indices are in [0, workers), and no partition lists
+// the same worker twice.
+func (r Replicated) Validate(l *layout.Layout, workers int) error {
+	for _, p := range l.Parts {
+		ws := r[p.ID]
+		if len(ws) == 0 {
+			return fmt.Errorf("placement: partition %d has no replica set", p.ID)
+		}
+		seen := make(map[int]bool, len(ws))
+		for _, w := range ws {
+			if w < 0 || w >= workers {
+				return fmt.Errorf("placement: partition %d placed on invalid worker %d", p.ID, w)
+			}
+			if seen[w] {
+				return fmt.Errorf("placement: partition %d lists worker %d twice", p.ID, w)
+			}
+			seen[w] = true
+		}
+	}
+	return nil
+}
+
+// Replicated lifts a single-copy assignment to replica sets of size one.
+func (a Assignment) Replicated() Replicated {
+	out := make(Replicated, len(a))
+	for id, w := range a {
+		out[id] = []int{w}
+	}
+	return out
+}
+
+// Replicate spends budgetBytes of spare storage on failover copies of the
+// hottest partitions, the same greedy shape as the storage tuner (§V-B) but
+// applied to whole partitions for availability rather than query regions for
+// latency: candidates are (partition, extra copy) pairs, priority is the
+// partition's workload-weighted bytes divided by the copies it already has
+// (the second copy of a hot partition beats the first copy of a cold one),
+// and each copy lands on the least-loaded worker not already hosting the
+// partition. The result is deterministic for fixed inputs.
+//
+// queries is the expected workload (typically the worst-case workload Q*F);
+// primary is the existing single-copy assignment (e.g. Optimize's output),
+// preserved as the first entry of every replica set.
+func Replicate(l *layout.Layout, queries []geom.Box, workers int, primary Assignment, budgetBytes int64) Replicated {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(Replicated, len(l.Parts))
+	load := make([]int64, workers)
+	for _, p := range l.Parts {
+		w := primary[p.ID]
+		if w < 0 || w >= workers {
+			w = 0
+		}
+		out[p.ID] = []int{w}
+		load[w] += p.Bytes()
+	}
+	if budgetBytes <= 0 || workers < 2 {
+		return out
+	}
+	// touches[p] counts the workload queries reading partition p — the same
+	// heat signal Optimize orders by.
+	touches := make(map[layout.ID]int, len(l.Parts))
+	for _, ids := range l.PartitionsForBatch(queries, 0) {
+		for _, id := range ids {
+			touches[id]++
+		}
+	}
+	// Hottest-first order; ties broken by ID for determinism.
+	order := make([]*layout.Partition, len(l.Parts))
+	copy(order, l.Parts)
+	weight := func(p *layout.Partition) int64 {
+		return p.Bytes() * int64(touches[p.ID])
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := weight(order[i]), weight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i].ID < order[j].ID
+	})
+	remaining := budgetBytes
+	for {
+		// Pick the candidate copy with the best priority that fits.
+		var best *layout.Partition
+		var bestPrio float64
+		for _, p := range order {
+			if p.Bytes() <= 0 || p.Bytes() > remaining || len(out[p.ID]) >= workers {
+				continue
+			}
+			if w := weight(p); w > 0 {
+				prio := float64(w) / float64(len(out[p.ID]))
+				if best == nil || prio > bestPrio {
+					best, bestPrio = p, prio
+				}
+			}
+		}
+		if best == nil {
+			return out
+		}
+		// Least-loaded worker not already hosting the partition.
+		hosting := make(map[int]bool, len(out[best.ID]))
+		for _, w := range out[best.ID] {
+			hosting[w] = true
+		}
+		bestW := -1
+		for w := 0; w < workers; w++ {
+			if hosting[w] {
+				continue
+			}
+			if bestW < 0 || load[w] < load[bestW] {
+				bestW = w
+			}
+		}
+		if bestW < 0 {
+			return out
+		}
+		out[best.ID] = append(out[best.ID], bestW)
+		load[bestW] += best.Bytes()
+		remaining -= best.Bytes()
+	}
+}

@@ -1,0 +1,151 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"paw/internal/core"
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+func buildLayout(t *testing.T) (*layout.Layout, []geom.Box) {
+	t.Helper()
+	data := dataset.TPCHLike(12000, 5)
+	dom := data.Domain()
+	hist := workload.Uniform(dom, workload.Defaults(20, 6))
+	rows := make([]int, data.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	l := core.Build(data, rows, dom, hist, core.Params{MinRows: 10})
+	l.Route(data)
+	return l, hist.Boxes()
+}
+
+func totalBytes(l *layout.Layout) int64 {
+	var t int64
+	for _, p := range l.Parts {
+		t += p.Bytes()
+	}
+	return t
+}
+
+func TestReplicatePreservesPrimaries(t *testing.T) {
+	l, queries := buildLayout(t)
+	const workers = 4
+	primary := Optimize(l, queries, workers)
+	rep := Replicate(l, queries, workers, primary, totalBytes(l))
+	if err := rep.Validate(l, workers); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range l.Parts {
+		if rep[p.ID][0] != primary[p.ID] {
+			t.Fatalf("partition %d: primary moved from %d to %d", p.ID, primary[p.ID], rep[p.ID][0])
+		}
+	}
+	if got := rep.Primary(); !reflect.DeepEqual(got, primary) {
+		t.Fatal("Primary() projection must reproduce the input assignment")
+	}
+}
+
+func TestReplicateRespectsBudget(t *testing.T) {
+	l, queries := buildLayout(t)
+	const workers = 4
+	primary := RoundRobin(l, workers)
+	for _, budget := range []int64{0, totalBytes(l) / 10, totalBytes(l), 3 * totalBytes(l)} {
+		rep := Replicate(l, queries, workers, primary, budget)
+		if err := rep.Validate(l, workers); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if got := rep.ReplicaBytes(l); got > budget {
+			t.Fatalf("budget %d: replicas occupy %d bytes", budget, got)
+		}
+		if budget == 0 && rep.ReplicaBytes(l) != 0 {
+			t.Fatal("zero budget must produce no copies")
+		}
+	}
+	// A generous budget must actually buy copies for a workload that touches
+	// partitions.
+	rep := Replicate(l, queries, workers, primary, 3*totalBytes(l))
+	if rep.ReplicaBytes(l) == 0 {
+		t.Fatal("unlimited budget bought no replicas for a touched workload")
+	}
+	// No replica set exceeds the fleet, and no set repeats a worker
+	// (Validate covers this, but assert the cap explicitly).
+	for id, ws := range rep {
+		if len(ws) > workers {
+			t.Fatalf("partition %d has %d copies for %d workers", id, len(ws), workers)
+		}
+	}
+}
+
+func TestReplicateDeterministic(t *testing.T) {
+	l, queries := buildLayout(t)
+	const workers = 3
+	primary := Optimize(l, queries, workers)
+	budget := totalBytes(l) / 2
+	a := Replicate(l, queries, workers, primary, budget)
+	b := Replicate(l, queries, workers, primary, budget)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Replicate must be deterministic for fixed inputs")
+	}
+}
+
+func TestReplicatePrefersHotPartitions(t *testing.T) {
+	l, queries := buildLayout(t)
+	const workers = 4
+	primary := RoundRobin(l, workers)
+	// Small budget: whatever it buys must go to partitions the workload
+	// touches, never to untouched ones.
+	touched := make(map[layout.ID]bool)
+	for _, ids := range l.PartitionsForBatch(queries, 0) {
+		for _, id := range ids {
+			touched[id] = true
+		}
+	}
+	rep := Replicate(l, queries, workers, primary, totalBytes(l)/4)
+	for _, p := range l.Parts {
+		if len(rep[p.ID]) > 1 && !touched[p.ID] {
+			t.Fatalf("partition %d is untouched by the workload but got a replica", p.ID)
+		}
+	}
+}
+
+func TestAssignmentReplicated(t *testing.T) {
+	l, _ := buildLayout(t)
+	a := RoundRobin(l, 3)
+	rep := a.Replicated()
+	if err := rep.Validate(l, 3); err != nil {
+		t.Fatal(err)
+	}
+	for id, w := range a {
+		if len(rep[id]) != 1 || rep[id][0] != w {
+			t.Fatalf("partition %d: lifted set %v, want [%d]", id, rep[id], w)
+		}
+	}
+}
+
+func TestValidateRejectsBadSets(t *testing.T) {
+	l, _ := buildLayout(t)
+	rep := RoundRobin(l, 2).Replicated()
+	cases := map[string]func(Replicated){
+		"missing":   func(r Replicated) { delete(r, l.Parts[0].ID) },
+		"empty":     func(r Replicated) { r[l.Parts[0].ID] = nil },
+		"negative":  func(r Replicated) { r[l.Parts[0].ID] = []int{-1} },
+		"overflow":  func(r Replicated) { r[l.Parts[0].ID] = []int{2} },
+		"duplicate": func(r Replicated) { r[l.Parts[0].ID] = []int{0, 0} },
+	}
+	for name, corrupt := range cases {
+		bad := make(Replicated, len(rep))
+		for id, ws := range rep {
+			bad[id] = append([]int(nil), ws...)
+		}
+		corrupt(bad)
+		if err := bad.Validate(l, 2); err == nil {
+			t.Errorf("%s: corruption passed Validate", name)
+		}
+	}
+}
