@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench-construction bench-routing obs-demo
+.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan obs-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -26,7 +26,7 @@ test:
 # detector in short mode. Any new fan-out point must pass this before
 # merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/colstore/... ./internal/blockstore/...
 
 # chaos runs the deterministic fault-injection suite (DESIGN.md §10) under
 # the race detector: every TestChaos* scenario drives the distributed path
@@ -38,12 +38,14 @@ chaos:
 
 # fuzz gives every fuzz target a short budget: the invariant harness
 # (builders must satisfy the oracles on fuzzed scenarios), the δ-estimation
-# differential (bottleneck matching vs. brute force) and the routing/codec
-# differentials in internal/layout.
+# differential (bottleneck matching vs. brute force), the routing/codec
+# differentials in internal/layout, and the scan-kernel differential
+# (vectorized kernels vs naive scan across every encoding, v1+v2 codecs).
 fuzz:
 	$(GO) test ./internal/sim -run FuzzInvariants -fuzz FuzzInvariants -fuzztime 30s
 	$(GO) test ./internal/workload -run FuzzMinimalDelta -fuzz FuzzMinimalDelta -fuzztime 30s
 	$(GO) test ./internal/layout -run FuzzRoutingDifferential -fuzz FuzzRoutingDifferential -fuzztime 30s
+	$(GO) test ./internal/colstore -run FuzzScanDifferential -fuzz FuzzScanDifferential -fuzztime 30s
 
 # bench-construction regenerates BENCH_construction.json: construction
 # ns/op, allocs/op and parallel speedup at 1/2/4/8 workers, tracked across
@@ -56,6 +58,12 @@ bench-construction:
 # routing on a sealed 5k-partition layout, tracked across PRs.
 bench-routing:
 	$(GO) run ./cmd/pawbench -routing BENCH_routing.json
+
+# bench-scan regenerates BENCH_scan.json: vectorized columnar scan kernels vs
+# the naive reference (MB/s, rows/s, bytes decoded vs skipped, allocs/op,
+# encoded-vs-naive speedup per selectivity), tracked across PRs.
+bench-scan:
+	$(GO) run ./cmd/pawbench -scan BENCH_scan.json
 
 # obs-demo exercises the telemetry pipeline end to end: build a layout with
 # the metrics registry attached, emit the structured build report (phase

@@ -34,6 +34,7 @@ func main() {
 		parallelism  = flag.Int("parallelism", 0, "layout-construction workers (0 = all cores, 1 = serial)")
 		construction = flag.String("construction", "", "write the construction benchmark (ns/op, allocs/op, speedup at 1/2/4/8 workers) as JSON to this path and exit")
 		routing      = flag.String("routing", "", "write the routing benchmark (ns/query, q/s, allocs/query for linear vs indexed range+point routing) as JSON to this path and exit")
+		scan         = flag.String("scan", "", "write the columnar-scan benchmark (MB/s, rows/s, bytes skipped, allocs/op, encoded-vs-naive speedup) as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -67,6 +68,13 @@ func main() {
 	}
 	if *routing != "" {
 		if err := runRouting(cfg, *routing); err != nil {
+			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scan != "" {
+		if err := runScan(cfg, *scan); err != nil {
 			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -67,6 +67,65 @@ func TestEndToEndSQLAllMethods(t *testing.T) {
 	}
 }
 
+// TestEndToEndZoneMapScans materialises a store with feature-vector zone
+// maps trained on the workload and verifies, for every training query, that
+// the stored scan counts still equal the brute-force dataset counts, that the
+// per-partition byte accounting invariant holds, and that the zone maps
+// actually skip row groups somewhere (they are exact on training queries).
+func TestEndToEndZoneMapScans(t *testing.T) {
+	data := GenerateTPCH(25_000, 113)
+	hist := UniformWorkload(data.Domain(), 25, 114)
+	l, err := Build(data, hist, Options{
+		Method: MethodPAW, MinRows: 10, SampleRows: 2_500,
+		Delta: FractionOfDomain(data.Domain(), 0.0005),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 256})
+	zoned := blockstore.Materialize(l, data, blockstore.Config{
+		GroupRows: 256, ZoneQueries: hist.Boxes(),
+	})
+	zoneSkips := 0
+	for _, q := range hist.Boxes() {
+		ids := l.PartitionsFor(q)
+		want := data.CountInBox(q, nil)
+		pst, err := plain.ScanAll(ids, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zst, err := zoned.ScanAll(ids, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pst.Matched != want || zst.Matched != want {
+			t.Fatalf("query %v: plain %d / zoned %d rows, want %d", q, pst.Matched, zst.Matched, want)
+		}
+		if zst.BytesRead > pst.BytesRead {
+			t.Fatalf("query %v: zone maps increased bytes read (%d > %d)", q, zst.BytesRead, pst.BytesRead)
+		}
+		zoneSkips += zst.GroupsZoneSkipped
+		// Per-partition accounting: every encoded byte is either read or skipped.
+		for _, id := range ids {
+			st, err := zoned.ScanPartition(id, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := zoned.Partition(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.BytesRead+st.BytesSkipped != p.Table.EncodedBytes() {
+				t.Fatalf("partition %d: read %d + skipped %d != encoded %d",
+					id, st.BytesRead, st.BytesSkipped, p.Table.EncodedBytes())
+			}
+		}
+	}
+	if zoneSkips == 0 {
+		t.Error("zone maps never skipped a row group across the training workload")
+	}
+}
+
 // TestLayoutPersistenceThroughFacade saves a PAW layout (with plugins) and
 // reloads it, verifying the reloaded master routes identically.
 func TestLayoutPersistenceThroughFacade(t *testing.T) {

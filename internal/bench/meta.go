@@ -6,6 +6,7 @@ package bench
 const (
 	ConstructionSchema = "paw/bench-construction/v1"
 	RoutingSchema      = "paw/bench-routing/v1"
+	ScanSchema         = "paw/bench-scan/v1"
 )
 
 // Meta identifies one benchmark artifact: which schema it follows, which

@@ -15,6 +15,8 @@ import (
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/maxskip"
+	"paw/internal/parbuild"
 )
 
 // Config configures the store.
@@ -28,6 +30,11 @@ type Config struct {
 	// WriteMBps is the simulated sequential write throughput used to model
 	// the "routing and I/O time" of Table II.
 	WriteMBps float64
+	// ZoneQueries, when non-empty, is the training workload used to build
+	// per-row-group feature-vector zone maps (Sun et al., SIGMOD 2014) for
+	// every partition table: scans whose query is in this workload skip row
+	// groups with exact per-group incidence bits, beyond min/max pruning.
+	ZoneQueries []geom.Box
 }
 
 func (c Config) withDefaults() Config {
@@ -55,8 +62,9 @@ func (p *StoredPartition) Bytes() int64 { return p.Table.Bytes() }
 
 // Store holds the materialised partitions of one layout.
 type Store struct {
-	cfg   Config
-	parts map[layout.ID]*StoredPartition
+	cfg      Config
+	parts    map[layout.ID]*StoredPartition
+	scanners colstore.ScannerPool
 
 	// BytesWritten is the total payload written at materialisation.
 	BytesWritten int64
@@ -83,6 +91,11 @@ func Materialize(l *layout.Layout, data *dataset.Dataset, cfg Config) *Store {
 	s := &Store{cfg: cfg, parts: make(map[layout.ID]*StoredPartition, len(l.Parts)), RoutingTime: routing}
 	for _, p := range l.Parts {
 		tab := colstore.FromDataset(data, byPart[p.ID], cfg.GroupRows)
+		if len(cfg.ZoneQueries) > 0 {
+			if err := tab.SetZoneMaps(cfg.ZoneQueries, zoneMapBits(data, byPart[p.ID], tab, cfg.ZoneQueries)); err != nil {
+				panic(err) // impossible: bits are built from this table's groups
+			}
+		}
 		blocks := int((tab.Bytes() + cfg.BlockBytes - 1) / cfg.BlockBytes)
 		if blocks == 0 {
 			blocks = 1
@@ -92,6 +105,35 @@ func Materialize(l *layout.Layout, data *dataset.Dataset, cfg Config) *Store {
 	}
 	s.SimWriteTime = time.Duration(float64(s.BytesWritten) / (cfg.WriteMBps * 1e6) * float64(time.Second))
 	return s
+}
+
+// zoneMapBits computes per-row-group feature-vector incidence bits for a
+// partition table directly from the source rows: one maxskip.RowVector per
+// row, unioned across the rows of each group. rows lists the partition's
+// source row indices in table order (nil meaning the whole dataset, matching
+// colstore.FromDataset).
+func zoneMapBits(data *dataset.Dataset, rows []int, tab *colstore.Table, queries []geom.Box) [][]uint64 {
+	words := (len(queries) + 63) / 64
+	bits := make([][]uint64, tab.NumGroups())
+	vec := make([]uint64, words)
+	next := 0
+	for gi := range bits {
+		g := make([]uint64, words)
+		n := tab.GroupRows(gi)
+		for i := 0; i < n; i++ {
+			r := next + i
+			if rows != nil {
+				r = rows[next+i]
+			}
+			maxskip.RowVector(data, r, queries, vec)
+			for w := 0; w < words; w++ {
+				g[w] |= vec[w]
+			}
+		}
+		next += n
+		bits[gi] = g
+	}
+	return bits
 }
 
 // Partition returns the stored partition with the given ID.
@@ -118,13 +160,32 @@ func (s *Store) TotalBlocks() int {
 // BlockBytes returns the configured block size.
 func (s *Store) BlockBytes() int64 { return s.cfg.BlockBytes }
 
-// ScanPartition scans one partition with the query, using row-group pruning.
+// ScanPartition scans one partition with the query through the vectorized
+// kernels, using row-group pruning and (when configured) feature-vector zone
+// maps. Scanner scratch comes from the store's pool, so concurrent scans of
+// different partitions are safe and allocation-free in steady state.
 func (s *Store) ScanPartition(id layout.ID, q geom.Box) (colstore.ScanStats, error) {
 	p, err := s.Partition(id)
 	if err != nil {
 		return colstore.ScanStats{}, err
 	}
-	return p.Table.Count(q), nil
+	sc := s.scanners.Get()
+	defer s.scanners.Put(sc)
+	return sc.Count(p.Table, q), nil
+}
+
+// ScanPartitionParallel scans one partition's row groups in parallel on the
+// given bounded pool. Totals are deterministic at any worker count; a nil or
+// serial pool degrades to ScanPartition.
+func (s *Store) ScanPartitionParallel(id layout.ID, q geom.Box, pool *parbuild.Pool) (colstore.ScanStats, error) {
+	if pool == nil || pool.Workers() <= 1 {
+		return s.ScanPartition(id, q)
+	}
+	p, err := s.Partition(id)
+	if err != nil {
+		return colstore.ScanStats{}, err
+	}
+	return p.Table.CountParallel(q, pool, &s.scanners), nil
 }
 
 // ScanAll scans the listed partitions and sums the statistics — the storage
@@ -136,10 +197,7 @@ func (s *Store) ScanAll(ids []layout.ID, q geom.Box) (colstore.ScanStats, error)
 		if err != nil {
 			return total, err
 		}
-		total.Matched += st.Matched
-		total.BytesRead += st.BytesRead
-		total.GroupsRead += st.GroupsRead
-		total.GroupsSkipped += st.GroupsSkipped
+		total.Add(st)
 	}
 	return total, nil
 }

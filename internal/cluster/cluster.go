@@ -28,6 +28,11 @@ type Config struct {
 	// CacheMBps is the scan throughput for partitions resident in the
 	// worker's cache.
 	CacheMBps float64
+	// KernelMBps caps effective scan throughput at the CPU decode-kernel
+	// rate of the vectorized columnar scan: even a cache-resident partition
+	// cannot stream faster than the kernels evaluate encoded bytes. Zero
+	// disables the cap (pure I/O model).
+	KernelMBps float64
 	// SeekLatency is paid once per partition scanned.
 	SeekLatency time.Duration
 	// NetworkRTT is paid once per query (master round trip).
@@ -46,6 +51,7 @@ func Defaults() Config {
 		Workers:     4,
 		DiskMBps:    0.150, // 150 MB/s HDD, scaled 1/1000
 		CacheMBps:   2.5,   // ~2.5 GB/s memory scan, scaled 1/1000
+		KernelMBps:  4.0,   // ~4.05 GB/s measured full-decode kernel rate (BENCH_scan.json decode_mb_per_sec), scaled 1/1000
 		SeekLatency: 8 * time.Millisecond,
 		NetworkRTT:  2 * time.Millisecond,
 		CacheBytes:  1 << 22, // 4 MB/worker ≈ 16 GB RAM scaled 1/1000 (most of the dataset fits in aggregate cache, as on the paper's testbed)
@@ -129,6 +135,9 @@ func (c *Cluster) Query(q geom.Box, ids []layout.ID) (Result, error) {
 		if c.caches[w].touch(id, p.Bytes()) {
 			throughput = c.cfg.CacheMBps
 			res.CacheHits++
+		}
+		if c.cfg.KernelMBps > 0 && throughput > c.cfg.KernelMBps {
+			throughput = c.cfg.KernelMBps
 		}
 		scan := time.Duration(float64(st.BytesRead) / (throughput * 1e6) * float64(time.Second))
 		perWorker[w] += c.cfg.SeekLatency + scan

@@ -1,17 +1,16 @@
 // Package colstore is the repository's Parquet stand-in: a columnar table
-// format with fixed-size row groups, per-group min/max statistics (SMAs) and
-// a binary encoding. Scans prune whole row groups whose statistics miss the
-// query — the "row group based pruning" the paper credits for the
-// sub-linear end-to-end times of Fig. 15b.
+// format with fixed-size row groups, per-group min/max statistics (SMAs),
+// per-column lightweight compression and a binary encoding. Scans prune
+// whole row groups whose statistics miss the query — the "row group based
+// pruning" the paper credits for the sub-linear end-to-end times of
+// Fig. 15b — and evaluate the surviving groups with vectorized kernels:
+// predicates run directly on the encoded columns (dictionary codes, RLE
+// runs, bit-packed deltas), a reusable selection vector carries survivors
+// between columns, and only the rows that pass every predicate are decoded
+// (late materialization). See DESIGN.md §11.
 package colstore
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
-	"io"
-	"math"
-
 	"paw/internal/dataset"
 	"paw/internal/geom"
 	"paw/internal/sma"
@@ -22,20 +21,35 @@ import (
 // few thousand rows per group gives comparable pruning granularity.
 const DefaultGroupRows = 4096
 
-// Table is an immutable columnar table split into row groups.
+// Table is an immutable columnar table split into row groups. Every column
+// chunk is stored under the cheapest exact encoding for its values
+// (dictionary, run-length, frame-of-reference bit-packing, or raw), chosen
+// independently per row group at build time.
 type Table struct {
 	names  []string
 	groups []rowGroup
 	rows   int
+	zones  *zoneMaps
 }
 
 type rowGroup struct {
-	cols  [][]float64
+	cols  []column
+	rows  int
 	stats sma.Aggregates
 }
 
+// encodedBytes is the group's physical payload size under its encodings.
+func (g *rowGroup) encodedBytes() int64 {
+	var b int64
+	for i := range g.cols {
+		b += g.cols[i].payloadBytes()
+	}
+	return b
+}
+
 // FromDataset materialises the given rows of data (all rows when rows is
-// nil) into a columnar table with groupRows rows per row group.
+// nil) into a columnar table with groupRows rows per row group, choosing
+// the cheapest exact encoding per column chunk.
 func FromDataset(data *dataset.Dataset, rows []int, groupRows int) *Table {
 	if groupRows < 1 {
 		groupRows = DefaultGroupRows
@@ -48,21 +62,40 @@ func FromDataset(data *dataset.Dataset, rows []int, groupRows int) *Table {
 	}
 	t := &Table{names: append([]string(nil), data.Names()...), rows: len(rows)}
 	dims := data.Dims()
+	var vals, sortScratch []float64
 	for s := 0; s < len(rows); s += groupRows {
 		e := s + groupRows
 		if e > len(rows) {
 			e = len(rows)
 		}
 		chunk := rows[s:e]
-		g := rowGroup{cols: make([][]float64, dims)}
+		g := rowGroup{cols: make([]column, dims), rows: len(chunk)}
 		for d := 0; d < dims; d++ {
-			col := make([]float64, len(chunk))
-			for j, r := range chunk {
-				col[j] = data.At(r, d)
+			vals = vals[:0]
+			for _, r := range chunk {
+				vals = append(vals, data.At(r, d))
 			}
-			g.cols[d] = col
+			g.cols[d], sortScratch = encodeColumn(vals, sortScratch)
 		}
 		g.stats = sma.Compute(data, chunk)
+		t.groups = append(t.groups, g)
+	}
+	return t
+}
+
+// fromColumns rebuilds a table from fully decoded row groups (the PAWC v1
+// decode path), re-encoding every column chunk with the same chooser the
+// build path uses so v1 and v2 tables are indistinguishable in memory.
+func fromColumns(names []string, groups [][][]float64, stats []sma.Aggregates) *Table {
+	t := &Table{names: names}
+	var sortScratch []float64
+	for gi, cols := range groups {
+		n := len(cols[0])
+		g := rowGroup{cols: make([]column, len(cols)), rows: n, stats: stats[gi]}
+		for d, vals := range cols {
+			g.cols[d], sortScratch = encodeColumn(vals, sortScratch)
+		}
+		t.rows += n
 		t.groups = append(t.groups, g)
 	}
 	return t
@@ -80,254 +113,134 @@ func (t *Table) Dims() int { return len(t.names) }
 // Names returns the column names.
 func (t *Table) Names() []string { return t.names }
 
-// Bytes returns the simulated physical size of the table.
+// Bytes returns the simulated physical size of the table (the layout cost
+// model's 16 bytes/attribute; see dataset.BytesPerAttribute). Compression
+// is accounted separately via EncodedBytes.
 func (t *Table) Bytes() int64 {
 	return int64(t.rows) * int64(t.Dims()) * dataset.BytesPerAttribute
 }
 
-// ScanStats reports what a scan did: rows matched, bytes actually read after
-// row-group pruning, and groups skipped.
-type ScanStats struct {
-	Matched       int
-	BytesRead     int64
-	GroupsRead    int
-	GroupsSkipped int
+// EncodedBytes returns the physical payload size of the table under its
+// chosen per-column encodings — the denominator of the scan kernels' byte
+// accounting (ScanStats.BytesRead + ScanStats.BytesSkipped sums to this for
+// a full-table scan).
+func (t *Table) EncodedBytes() int64 {
+	var b int64
+	for i := range t.groups {
+		b += t.groups[i].encodedBytes()
+	}
+	return b
 }
 
-// Scan evaluates the range query q, pruning row groups via their SMAs, and
-// returns the matched row values (materialised as points) plus scan
-// statistics.
+// EncodingCounts tallies the physical encodings chosen across all row
+// groups and columns, keyed by encoding name ("raw", "dict", "rle", "for").
+func (t *Table) EncodingCounts() map[string]int {
+	out := make(map[string]int)
+	for gi := range t.groups {
+		for d := range t.groups[gi].cols {
+			out[t.groups[gi].cols[d].kind.String()]++
+		}
+	}
+	return out
+}
+
+// ScanStats reports what a scan did. Byte accounting follows the encoded
+// representation and late materialization: BytesRead counts only the
+// encoded payload actually decoded (predicate columns touched plus
+// materialized survivor values), never whole-group sizes; BytesSkipped is
+// the encoded payload a naive decode-everything scan would have read but
+// this scan proved it could skip. For any scan, BytesRead + BytesSkipped
+// equals the table's EncodedBytes.
+type ScanStats struct {
+	// Matched is the number of rows satisfying the query.
+	Matched int
+	// BytesRead is the encoded payload actually decoded.
+	BytesRead int64
+	// BytesSkipped is the encoded payload proven skippable (pruned groups,
+	// zone-map hits, covered columns, rows rejected before materialization).
+	BytesSkipped int64
+	// RowsDecoded is the number of rows materialized (0 for Count scans).
+	RowsDecoded int64
+	// GroupsRead / GroupsSkipped count row groups evaluated vs pruned.
+	GroupsRead    int
+	GroupsSkipped int
+	// GroupsZoneSkipped is the subset of GroupsSkipped rejected by the
+	// feature-vector zone maps rather than the min/max envelope.
+	GroupsZoneSkipped int
+}
+
+// Add accumulates other into st (used when merging per-partition or
+// per-chunk statistics).
+func (st *ScanStats) Add(other ScanStats) {
+	st.Matched += other.Matched
+	st.BytesRead += other.BytesRead
+	st.BytesSkipped += other.BytesSkipped
+	st.RowsDecoded += other.RowsDecoded
+	st.GroupsRead += other.GroupsRead
+	st.GroupsSkipped += other.GroupsSkipped
+	st.GroupsZoneSkipped += other.GroupsZoneSkipped
+}
+
+// Scan evaluates the range query q with the vectorized kernels and returns
+// the matched row values materialised as points (all sharing one flat
+// backing array) plus scan statistics. Callers on a hot path should hold a
+// Scanner and use Scanner.Scan, which reuses its buffers across calls.
 func (t *Table) Scan(q geom.Box) ([]geom.Point, ScanStats) {
-	var out []geom.Point
-	var st ScanStats
+	s := defaultScanners.Get()
+	defer defaultScanners.Put(s)
+	flat, st := s.Scan(t, q)
+	if len(flat) == 0 {
+		return nil, st
+	}
 	dims := t.Dims()
-	for _, g := range t.groups {
-		if g.stats.CanPrune(q) {
-			st.GroupsSkipped++
-			continue
-		}
-		st.GroupsRead++
-		n := len(g.cols[0])
-		st.BytesRead += int64(n) * int64(dims) * dataset.BytesPerAttribute
-	rowLoop:
-		for i := 0; i < n; i++ {
-			for d := 0; d < dims; d++ {
-				v := g.cols[d][i]
-				if v < q.Lo[d] || v > q.Hi[d] {
-					continue rowLoop
-				}
-			}
-			p := make(geom.Point, dims)
-			for d := 0; d < dims; d++ {
-				p[d] = g.cols[d][i]
-			}
-			out = append(out, p)
-			st.Matched++
-		}
+	backing := append([]float64(nil), flat...)
+	out := make([]geom.Point, st.Matched)
+	for r := range out {
+		out[r] = backing[r*dims : (r+1)*dims : (r+1)*dims]
 	}
 	return out, st
 }
 
-// Count is Scan without materialising rows.
+// Count is Scan without materialising rows: the selection vector is
+// evaluated but no values are decoded.
 func (t *Table) Count(q geom.Box) ScanStats {
-	var st ScanStats
-	dims := t.Dims()
-	for _, g := range t.groups {
-		if g.stats.CanPrune(q) {
-			st.GroupsSkipped++
-			continue
-		}
-		st.GroupsRead++
-		n := len(g.cols[0])
-		st.BytesRead += int64(n) * int64(dims) * dataset.BytesPerAttribute
-	rowLoop:
-		for i := 0; i < n; i++ {
-			for d := 0; d < dims; d++ {
-				v := g.cols[d][i]
-				if v < q.Lo[d] || v > q.Hi[d] {
-					continue rowLoop
-				}
-			}
-			st.Matched++
-		}
-	}
-	return st
+	s := defaultScanners.Get()
+	defer defaultScanners.Put(s)
+	return s.Count(t, q)
 }
 
 // GroupStats returns the SMA aggregates of row group i.
 func (t *Table) GroupStats(i int) sma.Aggregates { return t.groups[i].stats }
 
 // GroupRows returns the row count of row group i.
-func (t *Table) GroupRows(i int) int { return len(t.groups[i].cols[0]) }
+func (t *Table) GroupRows(i int) int { return t.groups[i].rows }
 
 // GroupBytes returns the simulated physical size of row group i.
 func (t *Table) GroupBytes(i int) int64 {
 	return int64(t.GroupRows(i)) * int64(t.Dims()) * dataset.BytesPerAttribute
 }
 
+// GroupEncodedBytes returns the encoded payload size of row group i.
+func (t *Table) GroupEncodedBytes(i int) int64 { return t.groups[i].encodedBytes() }
+
 // GroupPoints materialises row group i as points (reading the whole group,
-// as a scan would).
+// as a scan would). All returned points share one flat backing array — the
+// call allocates twice regardless of the row count.
 func (t *Table) GroupPoints(i int) []geom.Point {
-	g := t.groups[i]
-	n := len(g.cols[0])
+	g := &t.groups[i]
+	n := g.rows
 	dims := t.Dims()
-	out := make([]geom.Point, n)
-	for r := 0; r < n; r++ {
-		p := make(geom.Point, dims)
-		for d := 0; d < dims; d++ {
-			p[d] = g.cols[d][r]
+	backing := make([]float64, n*dims)
+	col := make([]float64, n)
+	for d := 0; d < dims; d++ {
+		g.cols[d].decodeInto(col)
+		for r := 0; r < n; r++ {
+			backing[r*dims+d] = col[r]
 		}
-		out[r] = p
+	}
+	out := make([]geom.Point, n)
+	for r := range out {
+		out[r] = backing[r*dims : (r+1)*dims : (r+1)*dims]
 	}
 	return out
-}
-
-// Binary format:
-//
-//	magic    uint32 'PAWC'
-//	version  uint16 1
-//	dims     uint16
-//	groups   uint32
-//	names    (uint16 len + bytes) per column
-//	per group: rows uint32, then dims columns of rows float64,
-//	           then SMA: count int64, min/max/sum per dim
-const (
-	colMagic   = 0x50415743 // "PAWC"
-	colVersion = 1
-)
-
-// Encode writes the table in the PAWC binary format.
-func (t *Table) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	le := binary.LittleEndian
-	write := func(v any) error { return binary.Write(bw, le, v) }
-	if err := write(uint32(colMagic)); err != nil {
-		return err
-	}
-	if err := write(uint16(colVersion)); err != nil {
-		return err
-	}
-	if err := write(uint16(t.Dims())); err != nil {
-		return err
-	}
-	if err := write(uint32(len(t.groups))); err != nil {
-		return err
-	}
-	for _, n := range t.names {
-		if err := write(uint16(len(n))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(n); err != nil {
-			return err
-		}
-	}
-	for _, g := range t.groups {
-		if err := write(uint32(len(g.cols[0]))); err != nil {
-			return err
-		}
-		for _, col := range g.cols {
-			for _, v := range col {
-				if err := write(math.Float64bits(v)); err != nil {
-					return err
-				}
-			}
-		}
-		if err := write(g.stats.Count); err != nil {
-			return err
-		}
-		for d := 0; d < t.Dims(); d++ {
-			if err := write(g.stats.Min[d]); err != nil {
-				return err
-			}
-			if err := write(g.stats.Max[d]); err != nil {
-				return err
-			}
-			if err := write(g.stats.Sum[d]); err != nil {
-				return err
-			}
-		}
-	}
-	return bw.Flush()
-}
-
-// Decode reads a table in the PAWC binary format.
-func Decode(r io.Reader) (*Table, error) {
-	br := bufio.NewReader(r)
-	le := binary.LittleEndian
-	var magic uint32
-	if err := binary.Read(br, le, &magic); err != nil {
-		return nil, fmt.Errorf("colstore: reading magic: %w", err)
-	}
-	if magic != colMagic {
-		return nil, fmt.Errorf("colstore: bad magic %#x", magic)
-	}
-	var version, dims uint16
-	if err := binary.Read(br, le, &version); err != nil {
-		return nil, err
-	}
-	if version != colVersion {
-		return nil, fmt.Errorf("colstore: unsupported version %d", version)
-	}
-	if err := binary.Read(br, le, &dims); err != nil {
-		return nil, err
-	}
-	if dims == 0 {
-		return nil, fmt.Errorf("colstore: zero columns")
-	}
-	var groups uint32
-	if err := binary.Read(br, le, &groups); err != nil {
-		return nil, err
-	}
-	t := &Table{names: make([]string, dims)}
-	for i := range t.names {
-		var n uint16
-		if err := binary.Read(br, le, &n); err != nil {
-			return nil, err
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
-		}
-		t.names[i] = string(b)
-	}
-	for gi := uint32(0); gi < groups; gi++ {
-		var rows uint32
-		if err := binary.Read(br, le, &rows); err != nil {
-			return nil, err
-		}
-		g := rowGroup{cols: make([][]float64, dims)}
-		for d := range g.cols {
-			col := make([]float64, rows)
-			for j := range col {
-				var bits uint64
-				if err := binary.Read(br, le, &bits); err != nil {
-					return nil, fmt.Errorf("colstore: group %d col %d: %w", gi, d, err)
-				}
-				col[j] = math.Float64frombits(bits)
-			}
-			g.cols[d] = col
-		}
-		g.stats = sma.Aggregates{
-			Min: make([]float64, dims),
-			Max: make([]float64, dims),
-			Sum: make([]float64, dims),
-		}
-		if err := binary.Read(br, le, &g.stats.Count); err != nil {
-			return nil, err
-		}
-		for d := 0; d < int(dims); d++ {
-			if err := binary.Read(br, le, &g.stats.Min[d]); err != nil {
-				return nil, err
-			}
-			if err := binary.Read(br, le, &g.stats.Max[d]); err != nil {
-				return nil, err
-			}
-			if err := binary.Read(br, le, &g.stats.Sum[d]); err != nil {
-				return nil, err
-			}
-		}
-		t.rows += int(rows)
-		t.groups = append(t.groups, g)
-	}
-	return t, nil
 }

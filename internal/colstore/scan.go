@@ -1,0 +1,234 @@
+package colstore
+
+import (
+	"paw/internal/geom"
+)
+
+// Scanner holds the reusable scratch of the vectorized scan kernels: the
+// selection vector, the flat materialization buffer, and the per-group
+// dimension-ordering scratch. A Scanner amortizes to zero allocations per
+// row group once its buffers have grown to the table's group size. Scanners
+// are not safe for concurrent use; use a ScannerPool to share them.
+type Scanner struct {
+	sel     []int32
+	flat    []float64
+	order   []int
+	estSel  []float64
+	touched []bool
+	chunks  []ScanStats
+}
+
+// NewScanner returns an empty scanner; buffers grow on first use.
+func NewScanner() *Scanner { return &Scanner{} }
+
+// Count evaluates q over the whole table without materialising rows.
+func (s *Scanner) Count(t *Table, q geom.Box) ScanStats {
+	var st ScanStats
+	s.scanGroups(t, q, 0, len(t.groups), t.zoneIndex(q), false, &st)
+	return st
+}
+
+// Scan evaluates q and materialises the surviving rows, row-major, into the
+// scanner's flat buffer: row r occupies flat[r*dims : (r+1)*dims]. The
+// returned slice is owned by the scanner and valid until its next call —
+// the caller-reusable buffer of the late-materialization contract.
+func (s *Scanner) Scan(t *Table, q geom.Box) ([]float64, ScanStats) {
+	var st ScanStats
+	s.flat = s.flat[:0]
+	s.scanGroups(t, q, 0, len(t.groups), t.zoneIndex(q), true, &st)
+	return s.flat, st
+}
+
+// scanGroups runs the kernel over row groups [lo, hi), accumulating into st.
+// zi is the feature-zone index of q (-1 when q is not a training query).
+func (s *Scanner) scanGroups(t *Table, q geom.Box, lo, hi, zi int, materialize bool, st *ScanStats) {
+	for gi := lo; gi < hi; gi++ {
+		g := &t.groups[gi]
+		if zi >= 0 && !t.zones.bit(gi, zi) {
+			st.GroupsSkipped++
+			st.GroupsZoneSkipped++
+			st.BytesSkipped += g.encodedBytes()
+			continue
+		}
+		if g.stats.CanPrune(q) {
+			st.GroupsSkipped++
+			st.BytesSkipped += g.encodedBytes()
+			continue
+		}
+		st.GroupsRead++
+		enc := g.encodedBytes()
+		read := s.scanGroup(g, q, materialize, st)
+		if read > enc {
+			read = enc // refinement estimates never exceed, but stay safe
+		}
+		st.BytesRead += read
+		st.BytesSkipped += enc - read
+	}
+}
+
+// scanGroup evaluates one row group column-at-a-time and returns the
+// encoded bytes it decoded.
+//
+// The kernel shape: dimensions whose SMA envelope lies entirely inside the
+// query are covered — every row passes, so their predicate is skipped and
+// no bytes are decoded for them until materialization. The remaining
+// (active) dimensions are evaluated most-selective-first, estimated from
+// the envelope overlap: the first fills the selection vector straight from
+// the encoded column, later ones refine it in place, touching only the
+// surviving positions. Materialization then decodes only surviving rows.
+func (s *Scanner) scanGroup(g *rowGroup, q geom.Box, materialize bool, st *ScanStats) int64 {
+	dims := len(g.cols)
+	if cap(s.touched) < dims {
+		s.touched = make([]bool, dims)
+		s.estSel = make([]float64, dims)
+	}
+	s.touched = s.touched[:dims]
+	s.order = s.order[:0]
+	for d := 0; d < dims; d++ {
+		s.touched[d] = false
+		if g.stats.DimCovered(d, q) {
+			continue // covered: every row in the group passes on d
+		}
+		min, max := g.stats.Min[d], g.stats.Max[d]
+		// Estimated fraction of the envelope the query overlaps on d.
+		est := 1.0
+		if max > min {
+			l, h := q.Lo[d], q.Hi[d]
+			if l < min {
+				l = min
+			}
+			if h > max {
+				h = max
+			}
+			est = (h - l) / (max - min)
+		}
+		// Insertion sort: ascending estimated selectivity.
+		s.order = append(s.order, d)
+		s.estSel[d] = est
+		for i := len(s.order) - 1; i > 0 && s.estSel[s.order[i]] < s.estSel[s.order[i-1]]; i-- {
+			s.order[i], s.order[i-1] = s.order[i-1], s.order[i]
+		}
+	}
+
+	var read int64
+	sel := s.sel[:0]
+	if len(s.order) == 0 {
+		// Every dimension covered: the whole group matches.
+		for i := 0; i < g.rows; i++ {
+			sel = append(sel, int32(i))
+		}
+	} else {
+		for oi, d := range s.order {
+			c := &g.cols[d]
+			var b int64
+			if oi == 0 {
+				sel, b = c.filterAll(q.Lo[d], q.Hi[d], sel)
+			} else {
+				sel, b = c.refine(q.Lo[d], q.Hi[d], sel)
+			}
+			s.touched[d] = true
+			read += b
+			if len(sel) == 0 {
+				break
+			}
+		}
+	}
+	st.Matched += len(sel)
+	if materialize && len(sel) > 0 {
+		base := len(s.flat)
+		need := base + len(sel)*dims
+		if cap(s.flat) < need {
+			grown := make([]float64, need, need+need/2)
+			copy(grown, s.flat)
+			s.flat = grown
+		} else {
+			s.flat = s.flat[:need]
+		}
+		for d := 0; d < dims; d++ {
+			c := &g.cols[d]
+			c.gather(sel, s.flat[base:], dims, d)
+			if !s.touched[d] {
+				// Covered columns are decoded here for the first time;
+				// predicate columns were already accounted above.
+				read += c.valueBytes(len(sel))
+			}
+		}
+		st.RowsDecoded += int64(len(sel))
+	}
+	s.sel = sel[:0]
+	return read
+}
+
+// anyMatch reports whether any row of group gi satisfies q; used to build
+// feature-vector zone maps.
+func (s *Scanner) anyMatch(t *Table, gi int, q geom.Box) bool {
+	g := &t.groups[gi]
+	if g.stats.CanPrune(q) {
+		return false
+	}
+	var st ScanStats
+	s.scanGroup(g, q, false, &st)
+	return st.Matched > 0
+}
+
+// ScanNaive is the retained reference scan: it decodes every non-pruned row
+// group in full and evaluates the predicate row-at-a-time, exactly as the
+// pre-vectorization store did. It exists as the differential-testing oracle
+// and the benchmark baseline; BytesRead accounts whole-group encoded bytes
+// because that is what it decodes. Feature-vector zone maps are ignored
+// (min/max pruning only) — results are identical either way, the zone maps
+// being exact.
+func (t *Table) ScanNaive(q geom.Box) ([]geom.Point, ScanStats) {
+	var out []geom.Point
+	st := t.naiveScan(q, func(cols [][]float64, i, dims int) {
+		p := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			p[d] = cols[d][i]
+		}
+		out = append(out, p)
+	})
+	return out, st
+}
+
+// CountNaive is ScanNaive without materialization.
+func (t *Table) CountNaive(q geom.Box) ScanStats {
+	return t.naiveScan(q, nil)
+}
+
+func (t *Table) naiveScan(q geom.Box, emit func(cols [][]float64, i, dims int)) ScanStats {
+	var st ScanStats
+	dims := t.Dims()
+	cols := make([][]float64, dims)
+	for gi := range t.groups {
+		g := &t.groups[gi]
+		if g.stats.CanPrune(q) {
+			st.GroupsSkipped++
+			st.BytesSkipped += g.encodedBytes()
+			continue
+		}
+		st.GroupsRead++
+		st.BytesRead += g.encodedBytes()
+		for d := 0; d < dims; d++ {
+			if cap(cols[d]) < g.rows {
+				cols[d] = make([]float64, g.rows)
+			}
+			cols[d] = cols[d][:g.rows]
+			g.cols[d].decodeInto(cols[d])
+		}
+	rowLoop:
+		for i := 0; i < g.rows; i++ {
+			for d := 0; d < dims; d++ {
+				v := cols[d][i]
+				if v < q.Lo[d] || v > q.Hi[d] {
+					continue rowLoop
+				}
+			}
+			if emit != nil {
+				emit(cols, i, dims)
+				st.RowsDecoded++
+			}
+			st.Matched++
+		}
+	}
+	return st
+}

@@ -1,0 +1,107 @@
+package colstore
+
+import (
+	"fmt"
+
+	"paw/internal/geom"
+)
+
+// zoneMaps extends the per-group min/max SMAs with the feature-vector
+// skipping index of Sun et al. (SIGMOD 2014, internal/maxskip), folded down
+// to row-group granularity: bit j of a group's vector is set iff the group
+// holds at least one row matching training query j. A scan whose query
+// equals a training query skips every group with a clear bit — exact
+// block-level skipping beyond what the min/max envelope can prove, because
+// feature bits see the actual rows, not their bounding box.
+type zoneMaps struct {
+	queries []geom.Box
+	words   int
+	bits    [][]uint64 // one vector per row group
+}
+
+func (z *zoneMaps) bit(group, query int) bool {
+	return z.bits[group][query/64]&(1<<uint(query%64)) != 0
+}
+
+// zoneIndex returns the training-query index of q, or -1 when q is not a
+// training query (or the table has no zone maps).
+func (t *Table) zoneIndex(q geom.Box) int {
+	if t.zones == nil {
+		return -1
+	}
+	for j, tq := range t.zones.queries {
+		if q.Equal(tq) {
+			return j
+		}
+	}
+	return -1
+}
+
+// ZoneMapQueries returns the training workload the zone maps were built
+// from (nil when the table has none).
+func (t *Table) ZoneMapQueries() []geom.Box {
+	if t.zones == nil {
+		return nil
+	}
+	return t.zones.queries
+}
+
+// BuildZoneMaps computes feature-vector zone maps for the given training
+// workload by probing every row group with every query through the scan
+// kernel. Passing an empty workload clears the zone maps. The maps are
+// exact for the training queries and persist through Encode/Decode (PAWC
+// v2 carries them).
+func (t *Table) BuildZoneMaps(queries []geom.Box) {
+	if len(queries) == 0 {
+		t.zones = nil
+		return
+	}
+	z := &zoneMaps{
+		queries: make([]geom.Box, len(queries)),
+		words:   (len(queries) + 63) / 64,
+	}
+	for j, q := range queries {
+		z.queries[j] = q.Clone()
+	}
+	s := defaultScanners.Get()
+	defer defaultScanners.Put(s)
+	z.bits = make([][]uint64, len(t.groups))
+	for gi := range t.groups {
+		vec := make([]uint64, z.words)
+		for j, q := range z.queries {
+			if s.anyMatch(t, gi, q) {
+				vec[j/64] |= 1 << uint(j%64)
+			}
+		}
+		z.bits[gi] = vec
+	}
+	t.zones = z
+}
+
+// SetZoneMaps installs externally computed feature-vector zone maps (one
+// query-incidence bit vector per row group, as produced from the source
+// rows via maxskip.RowVector). The caller is responsible for the bits being
+// exact: a clear bit must prove the group holds no matching row.
+func (t *Table) SetZoneMaps(queries []geom.Box, groupBits [][]uint64) error {
+	if len(queries) == 0 {
+		t.zones = nil
+		return nil
+	}
+	if len(groupBits) != len(t.groups) {
+		return fmt.Errorf("colstore: %d zone vectors for %d row groups", len(groupBits), len(t.groups))
+	}
+	words := (len(queries) + 63) / 64
+	z := &zoneMaps{queries: make([]geom.Box, len(queries)), words: words}
+	for j, q := range queries {
+		z.queries[j] = q.Clone()
+	}
+	z.bits = make([][]uint64, len(groupBits))
+	for gi, vec := range groupBits {
+		if len(vec) != words {
+			return fmt.Errorf("colstore: zone vector %d has %d words, want %d", gi, len(vec), words)
+		}
+		z.bits[gi] = append([]uint64(nil), vec...)
+	}
+	t.zones = z
+	return nil
+}

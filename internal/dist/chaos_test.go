@@ -188,7 +188,7 @@ func TestChaosCorruptResponseTriggersRetry(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			tc := startChaosCluster(t, 1, 1, map[int]faultnet.Script{
 				0: {Seed: seed, Rules: []faultnet.Rule{
-					{Conn: 0, Op: faultnet.OnWrite, Call: 0, Action: faultnet.Corrupt, Bytes: 4},
+					{Conn: 0, Op: faultnet.OnWrite, Call: 0, Action: faultnet.Corrupt, Bytes: 16},
 				}},
 			}, fastChaosConfig(seed))
 			resp, err := tc.master.Query(chaosSQL)

@@ -380,6 +380,7 @@ func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, 
 			if r.err == nil && r.resp.Err == "" {
 				total.Rows += r.resp.Rows
 				total.BytesScanned += r.resp.BytesRead
+				total.BytesSkipped += r.resp.BytesSkipped
 				continue
 			}
 			ferr := r.err

@@ -33,12 +33,20 @@ const (
 	MetricWorkerScans         = "worker_scan_requests_total"
 	MetricWorkerRows          = "worker_rows_matched_total"
 	MetricWorkerBytesRead     = "worker_bytes_read_total"
+	MetricWorkerBytesSkipped  = "worker_bytes_skipped_total"
 	MetricWorkerGroupsRead    = "worker_groups_read_total"
 	MetricWorkerGroupsSkip    = "worker_groups_skipped_total"
+	MetricWorkerZoneSkip      = "worker_groups_zone_skipped_total"
 	MetricWorkerConns         = "worker_active_connections"
 	MetricWorkerErrors        = "worker_scan_errors_total"
 	MetricWorkerConnDropped   = "worker_dropped_connections_total"
 	MetricWorkerDeadlineDrops = "worker_deadline_dropped_scans_total"
+
+	// Per-request byte-volume histograms: how much encoded payload each scan
+	// batch actually decoded vs proved skippable (pruning + zone maps + late
+	// materialization). Their ratio is the live skipping effectiveness.
+	MetricWorkerScanBytesDecoded = "worker_scan_bytes_decoded"
+	MetricWorkerScanBytesSkipped = "worker_scan_bytes_skipped"
 )
 
 // FanoutBuckets are the histogram bounds for scatter width (workers hit per
@@ -114,12 +122,16 @@ type workerMetrics struct {
 	scans         *obs.Counter
 	rows          *obs.Counter
 	bytesRead     *obs.Counter
+	bytesSkipped  *obs.Counter
 	groupsRead    *obs.Counter
 	groupsSkip    *obs.Counter
+	zoneSkip      *obs.Counter
 	errors        *obs.Counter
 	activeConns   *obs.Gauge
 	dropped       *obs.Counter
 	deadlineDrops *obs.Counter
+	decodedHist   *obs.Histogram
+	skippedHist   *obs.Histogram
 }
 
 // SetMetrics attaches (or, with nil, detaches) worker telemetry: scan and
@@ -133,11 +145,15 @@ func (w *Worker) SetMetrics(reg *obs.Registry) {
 		scans:         reg.Counter(MetricWorkerScans),
 		rows:          reg.Counter(MetricWorkerRows),
 		bytesRead:     reg.Counter(MetricWorkerBytesRead),
+		bytesSkipped:  reg.Counter(MetricWorkerBytesSkipped),
 		groupsRead:    reg.Counter(MetricWorkerGroupsRead),
 		groupsSkip:    reg.Counter(MetricWorkerGroupsSkip),
+		zoneSkip:      reg.Counter(MetricWorkerZoneSkip),
 		errors:        reg.Counter(MetricWorkerErrors),
 		activeConns:   reg.Gauge(MetricWorkerConns),
 		dropped:       reg.Counter(MetricWorkerConnDropped),
 		deadlineDrops: reg.Counter(MetricWorkerDeadlineDrops),
+		decodedHist:   reg.Histogram(MetricWorkerScanBytesDecoded, obs.ByteBuckets()),
+		skippedHist:   reg.Histogram(MetricWorkerScanBytesSkipped, obs.ByteBuckets()),
 	}
 }

@@ -50,9 +50,13 @@ type ScanRequest struct {
 type ScanResponse struct {
 	Rows          int
 	BytesRead     int64
+	BytesSkipped  int64
 	GroupsRead    int
 	GroupsSkipped int
-	Err           string
+	// GroupsZoneSkipped counts the subset of GroupsSkipped proven empty by
+	// feature-vector zone maps rather than the min/max envelope.
+	GroupsZoneSkipped int
+	Err               string
 	// FailedPartition is the partition that produced Err, or -1 when the
 	// response is clean (or the failure was not partition-specific).
 	FailedPartition int64
@@ -74,6 +78,7 @@ type QueryRequest struct {
 type QueryResponse struct {
 	Rows              int
 	BytesScanned      int64
+	BytesSkipped      int64
 	PartitionsScanned int
 	SubQueries        int
 	Err               string

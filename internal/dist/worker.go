@@ -11,6 +11,7 @@ import (
 
 	"paw/internal/blockstore"
 	"paw/internal/layout"
+	"paw/internal/parbuild"
 )
 
 // Worker hosts a subset of a store's partitions and serves ScanRequests.
@@ -19,6 +20,10 @@ import (
 type Worker struct {
 	store    *blockstore.Store
 	assigned map[layout.ID]bool
+	// scanPool parallelises row-group scans within a partition. Fan is safe
+	// for concurrent drivers, so all connections share the one bounded pool —
+	// total scan parallelism stays bounded regardless of session count.
+	scanPool *parbuild.Pool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -38,7 +43,12 @@ func NewWorker(store *blockstore.Store, assigned []layout.ID) *Worker {
 	for _, id := range assigned {
 		m[id] = true
 	}
-	return &Worker{store: store, assigned: m, conns: make(map[net.Conn]bool)}
+	return &Worker{
+		store:    store,
+		assigned: m,
+		scanPool: parbuild.New(0),
+		conns:    make(map[net.Conn]bool),
+	}
 }
 
 // Start begins serving on addr (use "127.0.0.1:0" for tests) and returns
@@ -163,7 +173,7 @@ func (w *Worker) handle(req ScanRequest) ScanResponse {
 			w.m.errors.Inc()
 			break
 		}
-		st, err := w.store.ScanPartition(id, req.Query)
+		st, err := w.store.ScanPartitionParallel(id, req.Query, w.scanPool)
 		if err != nil {
 			resp.Err = err.Error()
 			resp.FailedPartition = int64(id)
@@ -172,13 +182,19 @@ func (w *Worker) handle(req ScanRequest) ScanResponse {
 		}
 		resp.Rows += st.Matched
 		resp.BytesRead += st.BytesRead
+		resp.BytesSkipped += st.BytesSkipped
 		resp.GroupsRead += st.GroupsRead
 		resp.GroupsSkipped += st.GroupsSkipped
+		resp.GroupsZoneSkipped += st.GroupsZoneSkipped
 	}
 	w.m.rows.Add(int64(resp.Rows))
 	w.m.bytesRead.Add(resp.BytesRead)
+	w.m.bytesSkipped.Add(resp.BytesSkipped)
 	w.m.groupsRead.Add(int64(resp.GroupsRead))
 	w.m.groupsSkip.Add(int64(resp.GroupsSkipped))
+	w.m.zoneSkip.Add(int64(resp.GroupsZoneSkipped))
+	w.m.decodedHist.Observe(float64(resp.BytesRead))
+	w.m.skippedHist.Observe(float64(resp.BytesSkipped))
 	return resp
 }
 

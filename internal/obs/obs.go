@@ -262,6 +262,15 @@ func LatencyBuckets() []float64 {
 	}
 }
 
+// ByteBuckets are the default bounds for byte-volume histograms (per-request
+// decoded or skipped payload): powers of four from 256 B to 1 GB.
+func ByteBuckets() []float64 {
+	return []float64{
+		1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18,
+		1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30,
+	}
+}
+
 // instrument kinds, for name-collision detection.
 const (
 	kindCounter = iota

@@ -72,6 +72,14 @@ func (a Aggregates) CanPrune(q geom.Box) bool {
 	return false
 }
 
+// DimCovered reports whether the block's envelope on dimension d lies
+// entirely inside the query's range on d: every record in the block then
+// satisfies the predicate on d, so a columnar scan can skip evaluating that
+// column (the covered-column shortcut of the vectorized kernels).
+func (a Aggregates) DimCovered(d int, q geom.Box) bool {
+	return a.Min[d] >= q.Lo[d] && a.Max[d] <= q.Hi[d]
+}
+
 // MBR returns the min-max envelope as a box. It panics on an empty block.
 func (a Aggregates) MBR() geom.Box {
 	if a.Empty() {
