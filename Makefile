@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan obs-demo
+.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving obs-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -26,7 +26,7 @@ test:
 # detector in short mode. Any new fan-out point must pass this before
 # merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/colstore/... ./internal/blockstore/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/...
 
 # chaos runs the deterministic fault-injection suite (DESIGN.md §10) under
 # the race detector: every TestChaos* scenario drives the distributed path
@@ -64,6 +64,14 @@ bench-routing:
 # encoded-vs-naive speedup per selectivity), tracked across PRs.
 bench-scan:
 	$(GO) run ./cmd/pawbench -scan BENCH_scan.json
+
+# bench-serving regenerates BENCH_serving.json: closed-loop qps, p50/p99 and
+# the saturation point of the serving front-end over an in-process cluster,
+# for the multiplexed binary transport vs the legacy gob baseline (pipeline
+# depth sweep on one connection plus a many-clients sweep), tracked across
+# PRs.
+bench-serving:
+	$(GO) run ./cmd/pawbench -serving BENCH_serving.json
 
 # obs-demo exercises the telemetry pipeline end to end: build a layout with
 # the metrics registry attached, emit the structured build report (phase

@@ -22,6 +22,7 @@ func runConstruction(cfg bench.Config, path string) error {
 	rep := bench.ConstructionBench(cfg, constructionWorkers)
 	rep.Meta.BuildInfo = obs.BuildVersion()
 	rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Meta.Host = bench.CurrentHost()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ func runRouting(cfg bench.Config, path string) error {
 	rep := bench.RoutingBench(cfg, routingWorkers)
 	rep.Meta.BuildInfo = obs.BuildVersion()
 	rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Meta.Host = bench.CurrentHost()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

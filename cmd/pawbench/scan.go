@@ -18,6 +18,7 @@ func runScan(cfg bench.Config, path string) error {
 	rep := bench.ScanBench(cfg)
 	rep.Meta.BuildInfo = obs.BuildVersion()
 	rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Meta.Host = bench.CurrentHost()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"paw/internal/bench"
+	"paw/internal/obs"
+)
+
+// runServing measures the serving front-end (binary multiplexed transport vs
+// the gob baseline over an in-process cluster: single-connection pipelining,
+// many-client saturation, p50/p99) and writes the machine-readable report
+// (BENCH_serving.json) so serving throughput is tracked across PRs.
+func runServing(cfg bench.Config, path string) error {
+	rep, err := bench.ServingBench(cfg, bench.ServingOptions{})
+	if err != nil {
+		return err
+	}
+	rep.Meta.BuildInfo = obs.BuildVersion()
+	rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Meta.Host = bench.CurrentHost()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving benchmark (%d rows, %d workers, %d ms/point) -> %s\n",
+		rep.Rows, rep.Workers, rep.PointMillis, path)
+	for _, p := range rep.Points {
+		fmt.Fprintf(os.Stderr, "  %-6s %-8s c=%-3d  %8.0f q/s  p50 %7.0f us  p99 %7.0f us  (%d queries, %d shared scans)\n",
+			p.Transport, p.Mode, p.Concurrency, p.QPS, p.P50Micros, p.P99Micros, p.Queries, p.SharedScans)
+	}
+	for _, s := range rep.Summaries {
+		fmt.Fprintf(os.Stderr, "  %-6s single-client %8.0f q/s  saturation %8.0f q/s @ c=%d (p99 %.0f us)\n",
+			s.Transport, s.SingleClientQPS, s.SaturationQPS, s.SaturationConcurrency, s.P99AtSaturationMicros)
+	}
+	fmt.Fprintf(os.Stderr, "  mux speedup: %.2fx single-client, %.2fx saturation\n",
+		rep.MuxSpeedupSingleClient, rep.MuxSpeedupSaturation)
+	return nil
+}

@@ -50,6 +50,14 @@ func main() {
 		retrySeed    = flag.Int64("retry-seed", 1, "seed for the backoff jitter (fixed seeds reproduce schedules)")
 		breakerN     = flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit breaker")
 		breakerCool  = flag.Duration("breaker-cooldown", 500*time.Millisecond, "time an open breaker waits before admitting a probe")
+
+		gobTransport   = flag.Bool("gob-transport", false, "speak the legacy gob protocol to workers instead of the multiplexed binary frames (differential oracle)")
+		connsPerWorker = flag.Int("conns-per-worker", 2, "multiplexed connections per worker (binary transport)")
+		clientPipeline = flag.Int("client-pipeline", 32, "max in-flight queries per binary client session")
+		planCache      = flag.Int("plan-cache", 1024, "routed-plan (descriptor) cache entries (0: off)")
+		resultCache    = flag.Int("result-cache", 256, "clean-result cache entries, invalidated on layout/placement change (0: off)")
+		maxInflight    = flag.Int("max-inflight", 256, "admission control: queries executing concurrently before new ones queue (0: unbounded, no admission)")
+		maxQueued      = flag.Int("max-queued", 32, "admission control: queued queries per client before shedding with an overload error")
 	)
 	flag.Parse()
 	if _, err := obs.SetupLogger(*logLevel); err != nil {
@@ -107,6 +115,14 @@ func main() {
 		CallTimeout:  *callTimeout,
 		QueryTimeout: *queryTimeout,
 		AllowPartial: *partial,
+
+		Transport:          transportFlag(*gobTransport),
+		ConnsPerWorker:     *connsPerWorker,
+		ClientPipeline:     *clientPipeline,
+		PlanCacheSize:      *planCache,
+		ResultCacheSize:    *resultCache,
+		MaxInflightQueries: *maxInflight,
+		MaxQueuedPerClient: *maxQueued,
 	})
 	if *metrics != "" {
 		// One registry for both layers: routing (latency histogram,
@@ -134,6 +150,13 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	m.Close()
+}
+
+func transportFlag(gob bool) dist.Transport {
+	if gob {
+		return dist.TransportGob
+	}
+	return dist.TransportBinary
 }
 
 func fatalf(format string, args ...any) {

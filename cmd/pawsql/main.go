@@ -1,8 +1,14 @@
-// Command pawsql is the SQL client for a pawmaster: one-shot with -sql, or a
-// REPL reading statements from stdin.
+// Command pawsql is the SQL client for a pawmaster: one-shot with -sql, a
+// REPL reading statements from stdin, or a quick closed-loop load driver
+// with -concurrency.
 //
 //	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t WHERE l_quantity >= 10"
 //	pawsql -connect 127.0.0.1:7100 -timeout 2s -partial
+//	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t" -concurrency 16 -duration 10s
+//
+// Load mode speaks the multiplexed binary protocol: all in-flight queries
+// pipeline over one connection, so the driver measures the serving path, not
+// a per-connection handshake.
 package main
 
 import (
@@ -12,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"paw/internal/dist"
@@ -20,12 +28,25 @@ import (
 
 func main() {
 	var (
-		connect = flag.String("connect", "127.0.0.1:7100", "master address")
-		sql     = flag.String("sql", "", "one-shot SQL statement (empty: REPL)")
-		timeout = flag.Duration("timeout", 0, "per-query deadline, shipped to the master and enforced on every worker scan (0: master default)")
-		partial = flag.Bool("partial", false, "accept partial results when partitions are unreachable (failed partitions are reported)")
+		connect     = flag.String("connect", "127.0.0.1:7100", "master address")
+		sql         = flag.String("sql", "", "one-shot SQL statement (empty: REPL)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline, shipped to the master and enforced on every worker scan (0: master default)")
+		partial     = flag.Bool("partial", false, "accept partial results when partitions are unreachable (failed partitions are reported)")
+		concurrency = flag.Int("concurrency", 0, "load mode: run -sql from this many goroutines over one multiplexed connection and report qps/p50/p99")
+		duration    = flag.Duration("duration", 10*time.Second, "load mode: measurement window (with -concurrency)")
 	)
 	flag.Parse()
+
+	if *concurrency > 0 {
+		if *sql == "" {
+			fatalf("-concurrency requires -sql")
+		}
+		if err := runLoad(*connect, *sql, *partial, *timeout, *concurrency, *duration); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
 	c, err := dist.Dial(*connect)
 	if err != nil {
 		fatalf("%v", err)
@@ -80,6 +101,72 @@ func main() {
 		}
 		run(stmt)
 	}
+}
+
+// runLoad drives stmt from conc goroutines over one multiplexed connection
+// for the window and prints throughput and latency quantiles.
+func runLoad(addr, stmt string, partial bool, timeout time.Duration, conc int, window time.Duration) error {
+	cl, err := dist.DialMux(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	cl.SetAllowPartial(partial)
+	// One untimed warmup query validates the statement (and primes the
+	// master's worker links) before the clock starts.
+	if _, err := cl.Query(stmt); err != nil {
+		return err
+	}
+
+	latencies := make([][]time.Duration, conc)
+	errs := make([]error, conc)
+	deadline := time.Now().Add(window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, timeout)
+				}
+				t0 := time.Now()
+				_, err := cl.QueryContext(ctx, stmt)
+				cancel()
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				latencies[g] = append(latencies[g], time.Since(t0))
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) == 0 {
+		return errors.New("no queries completed inside the window")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Printf("%d queries in %v (%d goroutines, 1 connection)\n",
+		len(all), elapsed.Round(time.Millisecond), conc)
+	fmt.Printf("  %8.0f q/s   p50 %v   p99 %v   max %v\n",
+		float64(len(all))/elapsed.Seconds(),
+		all[len(all)/2].Round(time.Microsecond),
+		all[len(all)*99/100].Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond))
+	return nil
 }
 
 func fatalf(format string, args ...any) {

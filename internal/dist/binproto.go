@@ -1,0 +1,263 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Binary codecs for the wire messages carried by the serve frame protocol
+// (DESIGN.md §12). The format is positional little-endian — no field tags,
+// no reflection — because both ends are always the same build of this
+// repository; cross-version compatibility is the gob oracle path's job.
+//
+// The methods are deliberately named AppendWire/UnmarshalWire, NOT
+// AppendBinary/UnmarshalBinary: the standard encoding.BinaryUnmarshaler
+// method names would hijack gob's encoding of the same structs on the
+// legacy path and break its wire format.
+//
+// Frame type bytes. Requests and responses use distinct types so a
+// mismatched reply is detected at the protocol layer, not by misdecoding.
+const (
+	msgScanReq byte = iota + 1
+	msgScanResp
+	msgQueryReq
+	msgQueryResp
+)
+
+// Error codes carried in QueryResponse.ErrCode alongside Err. Code 0 with a
+// non-empty Err is a generic failure; typed codes let clients react without
+// string matching.
+const (
+	// ErrCodeNone marks a clean response.
+	ErrCodeNone = 0
+	// ErrCodeOverloaded marks an admission-control rejection: the master shed
+	// the query because the tier is saturated and the client's fair-queue
+	// slot count is exhausted. Clients map it to serve.ErrOverloaded.
+	ErrCodeOverloaded = 1
+)
+
+// appendString appends a uint32-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// appendBox appends a query box: uint16 dims then lo and hi coordinates.
+func appendBox(buf []byte, b geom.Box) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b.Lo)))
+	for _, v := range b.Lo {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range b.Hi {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// reader is a bounds-checked little-endian cursor over one frame payload.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: truncated message (offset %d of %d)", r.off, len(r.buf))
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) box() geom.Box {
+	d := int(r.u16())
+	if r.err != nil || r.off+16*d > len(r.buf) {
+		r.fail()
+		return geom.Box{}
+	}
+	b := geom.Box{Lo: make(geom.Point, d), Hi: make(geom.Point, d)}
+	for i := 0; i < d; i++ {
+		b.Lo[i] = r.f64()
+	}
+	for i := 0; i < d; i++ {
+		b.Hi[i] = r.f64()
+	}
+	return b
+}
+
+func (r *reader) ids() []layout.ID {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+8*n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]layout.ID, n)
+	for i := range out {
+		out[i] = layout.ID(r.i64())
+	}
+	return out
+}
+
+// AppendWire encodes the request for the frame protocol.
+func (q *ScanRequest) AppendWire(buf []byte) []byte {
+	buf = appendBox(buf, q.Query)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.IDs)))
+	for _, id := range q.IDs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, q.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.Deadline))
+	return buf
+}
+
+// UnmarshalWire decodes an encoded ScanRequest.
+func (q *ScanRequest) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	q.Query = r.box()
+	q.IDs = r.ids()
+	q.Seq = r.u64()
+	q.Deadline = r.i64()
+	return r.err
+}
+
+// AppendWire encodes the response for the frame protocol.
+func (s *ScanResponse) AppendWire(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(s.Rows)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.BytesRead))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.BytesSkipped))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(s.GroupsRead)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(s.GroupsSkipped)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(s.GroupsZoneSkipped)))
+	buf = appendString(buf, s.Err)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.FailedPartition))
+	return buf
+}
+
+// UnmarshalWire decodes an encoded ScanResponse.
+func (s *ScanResponse) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	s.Rows = int(r.i64())
+	s.BytesRead = r.i64()
+	s.BytesSkipped = r.i64()
+	s.GroupsRead = int(r.i64())
+	s.GroupsSkipped = int(r.i64())
+	s.GroupsZoneSkipped = int(r.i64())
+	s.Err = r.str()
+	s.FailedPartition = r.i64()
+	return r.err
+}
+
+// AppendWire encodes the request for the frame protocol.
+func (q *QueryRequest) AppendWire(buf []byte) []byte {
+	buf = appendString(buf, q.SQL)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.TimeoutMillis))
+	var flags byte
+	if q.AllowPartial {
+		flags |= 1
+	}
+	return append(buf, flags)
+}
+
+// UnmarshalWire decodes an encoded QueryRequest.
+func (q *QueryRequest) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	q.SQL = r.str()
+	q.TimeoutMillis = r.i64()
+	q.AllowPartial = r.u8()&1 != 0
+	return r.err
+}
+
+// AppendWire encodes the response for the frame protocol.
+func (q *QueryResponse) AppendWire(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(q.Rows)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.BytesScanned))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.BytesSkipped))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(q.PartitionsScanned)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(q.SubQueries)))
+	buf = appendString(buf, q.Err)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.ErrCode))
+	var flags byte
+	if q.Partial {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.FailedPartitions)))
+	for _, id := range q.FailedPartitions {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+	}
+	return buf
+}
+
+// UnmarshalWire decodes an encoded QueryResponse.
+func (q *QueryResponse) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	q.Rows = int(r.i64())
+	q.BytesScanned = r.i64()
+	q.BytesSkipped = r.i64()
+	q.PartitionsScanned = int(r.i64())
+	q.SubQueries = int(r.i64())
+	q.Err = r.str()
+	q.ErrCode = int(r.u32())
+	q.Partial = r.u8()&1 != 0
+	q.FailedPartitions = r.ids()
+	return r.err
+}

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -16,10 +18,12 @@ import (
 	"paw/internal/layout"
 	"paw/internal/placement"
 	"paw/internal/router"
+	"paw/internal/serve"
 )
 
-// Config tunes the master's failure handling. The zero value means "use the
-// defaults" (DefaultConfig); Configure must be called before Start.
+// Config tunes the master's failure handling and serving front-end. The
+// zero value means "use the defaults" (DefaultConfig); Configure must be
+// called before Start.
 type Config struct {
 	// Retry is the worker-call retry/backoff/breaker policy.
 	Retry RetryPolicy
@@ -33,22 +37,79 @@ type Config struct {
 	// directly on the master; networked clients opt in per request
 	// (QueryRequest.AllowPartial).
 	AllowPartial bool
+
+	// Transport selects the worker wire protocol: TransportBinary (the
+	// multiplexed frame protocol, default) or TransportGob (the legacy
+	// codec-per-connection path, kept as the differential oracle).
+	Transport Transport
+	// ConnsPerWorker is the fixed pool size of multiplexed connections per
+	// worker under TransportBinary (default 2). All in-flight scans pipeline
+	// over this pool; it spreads write contention, not concurrency.
+	ConnsPerWorker int
+	// ClientPipeline bounds the requests one binary client session may have
+	// executing concurrently on the master (default 32).
+	ClientPipeline int
+
+	// PlanCacheSize bounds the descriptor cache (SQL → routing plan); 0
+	// disables it. Plans are immutable once routed, so hits skip the SQL
+	// rewrite and partition routing entirely.
+	PlanCacheSize int
+	// ResultCacheSize bounds the result cache (SQL → clean, complete
+	// QueryResponse); 0 disables it. Partial and failed responses are never
+	// cached. Both caches are emptied by InvalidateCaches on layout or
+	// placement change.
+	ResultCacheSize int
+
+	// MaxInflightQueries bounds the queries executing concurrently; the
+	// excess fair-queues per client and overflow is shed with a typed
+	// overload error (serve.ErrOverloaded on clients). 0 disables admission
+	// control.
+	MaxInflightQueries int
+	// MaxQueuedPerClient bounds each client's admission queue (default 32;
+	// only meaningful with MaxInflightQueries > 0).
+	MaxQueuedPerClient int
 }
 
-// DefaultConfig returns the production defaults: the default retry policy, a
-// 5s per-call timeout and a 30s query timeout.
+// DefaultConfig returns the production defaults: the default retry policy,
+// a 5s per-call timeout, a 30s query timeout, the multiplexed binary
+// transport over 2 conns/worker, a 1024-plan descriptor cache, a 256-entry
+// result cache, and admission control at 256 in-flight queries.
 func DefaultConfig() Config {
 	return Config{
-		Retry:        DefaultRetryPolicy(),
-		CallTimeout:  5 * time.Second,
-		QueryTimeout: 30 * time.Second,
+		Retry:              DefaultRetryPolicy(),
+		CallTimeout:        5 * time.Second,
+		QueryTimeout:       30 * time.Second,
+		Transport:          TransportBinary,
+		ConnsPerWorker:     2,
+		ClientPipeline:     32,
+		PlanCacheSize:      1024,
+		ResultCacheSize:    256,
+		MaxInflightQueries: 256,
+		MaxQueuedPerClient: 32,
 	}
+}
+
+// normalized fills the zero serving fields with their defaults.
+func (c Config) normalized() Config {
+	c.Retry = c.Retry.normalized()
+	if c.ConnsPerWorker < 1 {
+		c.ConnsPerWorker = 2
+	}
+	if c.ClientPipeline < 1 {
+		c.ClientPipeline = 32
+	}
+	if c.MaxInflightQueries > 0 && c.MaxQueuedPerClient < 1 {
+		c.MaxQueuedPerClient = 32
+	}
+	return c
 }
 
 // Master is the networked master node: it owns the routing metadata (via
 // router.Master), knows which workers host each partition (primary plus
-// failover replicas), and scatters scan work over persistent worker
-// connections with deadlines, bounded retries and breaker-guarded failover.
+// failover replicas), and scatters scan work over persistent multiplexed
+// worker connections with deadlines, bounded retries and breaker-guarded
+// failover. Above the scatter path sits the serving front-end (DESIGN.md
+// §12): a descriptor cache, a result cache and fair admission control.
 type Master struct {
 	router   *router.Master
 	replicas placement.Replicated // partition -> replica set, primary first
@@ -57,8 +118,13 @@ type Master struct {
 	breakers []breaker
 	seq      atomic.Uint64 // request-ID source
 
+	// planCache/resultCache are nil when disabled; admission likewise.
+	planCache   *serve.LRU[string, router.Plan]
+	resultCache *serve.LRU[string, QueryResponse]
+	admission   *serve.Admission
+
 	mu       sync.Mutex
-	workers  []*conn
+	links    []workerLink
 	addrs    []string
 	listener net.Listener
 	closed   bool
@@ -82,62 +148,100 @@ func NewMasterReplicated(r *router.Master, workerAddrs []string, rep placement.R
 	if err := rep.Validate(r.Layout(), len(workerAddrs)); err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
-	cfg := DefaultConfig()
-	cfg.Retry = cfg.Retry.normalized()
 	m := &Master{
 		router:   r,
 		replicas: rep,
-		cfg:      cfg,
-		jit:      newJitter(cfg.Retry.Seed),
 		breakers: make([]breaker, len(workerAddrs)),
-		workers:  make([]*conn, len(workerAddrs)),
+		links:    make([]workerLink, len(workerAddrs)),
 		addrs:    append([]string(nil), workerAddrs...),
 	}
+	m.Configure(DefaultConfig())
 	return m, nil
 }
 
-// Configure replaces the failure-handling configuration. Zero fields of the
-// retry policy fall back to their defaults. Call before Start; the master
-// does not support reconfiguration while queries are in flight.
+// Configure replaces the failure-handling and serving configuration. Zero
+// fields of the retry policy and the serving knobs fall back to their
+// defaults; caches and admission control stay off when their sizes are 0.
+// Call before Start; the master does not support reconfiguration while
+// queries are in flight.
 func (m *Master) Configure(cfg Config) {
-	cfg.Retry = cfg.Retry.normalized()
+	cfg = cfg.normalized()
 	m.cfg = cfg
 	m.jit = newJitter(cfg.Retry.Seed)
+	m.planCache, m.resultCache, m.admission = nil, nil, nil
+	if cfg.PlanCacheSize > 0 {
+		m.planCache = serve.NewLRU[string, router.Plan](cfg.PlanCacheSize)
+	}
+	if cfg.ResultCacheSize > 0 {
+		m.resultCache = serve.NewLRU[string, QueryResponse](cfg.ResultCacheSize)
+	}
+	if cfg.MaxInflightQueries > 0 {
+		m.admission = serve.NewAdmission(cfg.MaxInflightQueries, cfg.MaxQueuedPerClient)
+	}
 }
 
-// workerConn returns (dialing lazily) the persistent connection to worker i.
-// The dial respects ctx's deadline.
-func (m *Master) workerConn(ctx context.Context, i int) (*conn, error) {
+// InvalidateCaches empties the descriptor and result caches. It must be
+// called whenever the layout or the partition placement changes (partition
+// migration, rebalance, layout rebuild): every cached plan and result is
+// derived from both.
+func (m *Master) InvalidateCaches() {
+	if m.planCache != nil {
+		m.planCache.Invalidate()
+	}
+	if m.resultCache != nil {
+		m.resultCache.Invalidate()
+	}
+	m.m.cacheInvalidations.Inc()
+}
+
+// workerLink returns (dialing lazily) the persistent link to worker i. The
+// dial respects ctx's deadline.
+func (m *Master) workerLink(ctx context.Context, i int) (workerLink, error) {
 	m.mu.Lock()
-	if m.workers[i] != nil {
-		c := m.workers[i]
+	if m.links[i] != nil {
+		l := m.links[i]
 		m.mu.Unlock()
-		return c, nil
+		return l, nil
 	}
 	m.mu.Unlock()
-	var d net.Dialer
-	nc, err := d.DialContext(ctx, "tcp", m.addrs[i])
-	if err != nil {
-		return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], ctxErr(ctx, err))
+	var l workerLink
+	switch m.cfg.Transport {
+	case TransportGob:
+		var d net.Dialer
+		nc, err := d.DialContext(ctx, "tcp", m.addrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], ctxErr(ctx, err))
+		}
+		l = &gobLink{c: newConn(nc)}
+	default:
+		ml, err := dialMuxLink(ctx, m.addrs[i], m.cfg.ConnsPerWorker)
+		if err != nil {
+			return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], ctxErr(ctx, err))
+		}
+		l = ml
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.workers[i] != nil {
+	if m.links[i] != nil {
 		// A concurrent caller won the dial race; keep theirs.
-		nc.Close()
-		return m.workers[i], nil
+		l.close()
+		return m.links[i], nil
 	}
-	m.workers[i] = newConn(nc)
-	return m.workers[i], nil
+	if m.closed {
+		l.close()
+		return nil, errors.New("dist: master is closed")
+	}
+	m.links[i] = l
+	return l, nil
 }
 
-// dropWorkerConn discards a broken connection so the next call redials.
-func (m *Master) dropWorkerConn(i int) {
+// dropWorkerLink discards a broken link so the next call redials.
+func (m *Master) dropWorkerLink(i int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.workers[i] != nil {
-		m.workers[i].Close()
-		m.workers[i] = nil
+	if m.links[i] != nil {
+		m.links[i].close()
+		m.links[i] = nil
 	}
 }
 
@@ -153,6 +257,10 @@ func (e errWorkerUnhealthy) Error() string {
 // per-call deadlines, breaker admission, exponential backoff with seeded
 // jitter between attempts, and a per-query retry budget. Scans are read-only
 // and idempotent, so resends are safe. budget may be nil (no query budget).
+//
+// A failure whose request never reached the wire (serve.NotSentError — a
+// deadline that expired while queued) leaves the link in place; any other
+// failure drops it for a redial, because the stream state is unknown.
 func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *ScanResponse, budget *atomic.Int64) error {
 	req.Seq = m.seq.Add(1)
 	for attempt := 0; ; attempt++ {
@@ -175,11 +283,11 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 		if d, ok := cctx.Deadline(); ok {
 			req.Deadline = d.UnixNano()
 		}
-		c, err := m.workerConn(cctx, w)
+		l, err := m.workerLink(cctx, w)
 		if err == nil {
 			*resp = ScanResponse{} // a failed prior attempt may have partially decoded
 			sp := m.m.workerTimer(w).Start()
-			err = c.call(cctx, req, resp)
+			err = l.scan(cctx, &req, resp)
 			sp.End()
 		}
 		cancel()
@@ -187,8 +295,15 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 			m.breakers[w].success()
 			return nil
 		}
-		m.dropWorkerConn(w)
-		m.m.redials.Inc()
+		if serve.IsNotSent(err) {
+			// The link was never touched (clean expiry while queued): keep
+			// it — redialing would churn a healthy connection and poison the
+			// other callers pipelined on it.
+			m.m.cleanExpiries.Inc()
+		} else {
+			m.dropWorkerLink(w)
+			m.m.redials.Inc()
+		}
 		if ctx.Err() != nil {
 			// The query itself is done (deadline or sibling cancellation):
 			// the worker is not to blame, and retrying is pointless.
@@ -231,9 +346,9 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // Query executes one SQL statement with the background context (the
-// configured QueryTimeout still applies): rewrite → route → scatter per
-// worker → gather, with retry, failover and the configured partial-results
-// default.
+// configured QueryTimeout still applies): admission → caches → rewrite →
+// route → scatter per worker → gather, with retry, failover and the
+// configured partial-results default.
 func (m *Master) Query(sql string) (QueryResponse, error) {
 	return m.QueryContext(context.Background(), sql)
 }
@@ -243,10 +358,36 @@ func (m *Master) Query(sql string) (QueryResponse, error) {
 // every scatter RPC down to the workers' scan loops, and a cancellation
 // interrupts in-flight calls.
 func (m *Master) QueryContext(ctx context.Context, sql string) (QueryResponse, error) {
-	return m.query(ctx, sql, m.cfg.AllowPartial)
+	return m.query(ctx, localClient, sql, m.cfg.AllowPartial)
 }
 
-func (m *Master) query(ctx context.Context, sql string, allowPartial bool) (QueryResponse, error) {
+// localClient is the admission fair-queue key for queries issued directly
+// on the master rather than through a network session.
+const localClient = "local"
+
+// route resolves sql to a routing plan through the descriptor cache. Plans
+// are immutable after routing, so cached plans are shared across queries.
+func (m *Master) route(sql string) (router.Plan, error) {
+	if m.planCache == nil {
+		return m.router.RouteSQL(sql)
+	}
+	if plan, ok := m.planCache.Get(sql); ok {
+		m.m.planHits.Inc()
+		return plan, nil
+	}
+	m.m.planMisses.Inc()
+	plan, err := m.router.RouteSQL(sql)
+	if err != nil {
+		return plan, err
+	}
+	m.planCache.Put(sql, plan)
+	return plan, nil
+}
+
+// query is the serving path shared by direct calls and network sessions:
+// result-cache lookup, admission (keyed by client for fair queueing), then
+// route and scatter, caching clean complete results on the way out.
+func (m *Master) query(ctx context.Context, client, sql string, allowPartial bool) (QueryResponse, error) {
 	var start time.Time
 	if m.m.queries != nil {
 		start = time.Now()
@@ -260,7 +401,28 @@ func (m *Master) query(ctx context.Context, sql string, allowPartial bool) (Quer
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.QueryTimeout)
 		defer cancel()
 	}
-	plan, err := m.router.RouteSQL(sql)
+	// A cached clean result answers without a slot: serving memory beats
+	// re-scattering, and the cache can only hold results that are still
+	// valid (InvalidateCaches empties it on layout/placement change).
+	if m.resultCache != nil {
+		if resp, ok := m.resultCache.Get(sql); ok {
+			m.m.resultHits.Inc()
+			return resp, nil
+		}
+		m.m.resultMisses.Inc()
+	}
+	if m.admission != nil {
+		release, err := m.admission.Acquire(ctx, client)
+		if err != nil {
+			if errors.Is(err, serve.ErrOverloaded) {
+				m.m.overloads.Inc()
+				return QueryResponse{}, fmt.Errorf("dist: query shed: %w", err)
+			}
+			return QueryResponse{}, err
+		}
+		defer release()
+	}
+	plan, err := m.route(sql)
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -293,6 +455,9 @@ func (m *Master) query(ctx context.Context, sql string, allowPartial bool) (Quer
 		})
 		total.Partial = true
 		m.m.partials.Inc()
+	}
+	if m.resultCache != nil && !total.Partial {
+		m.resultCache.Put(sql, total)
 	}
 	return total, nil
 }
@@ -424,6 +589,8 @@ func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, 
 }
 
 // Start serves the client protocol on addr and returns the bound address.
+// Sessions speak either the binary frame protocol (preamble-detected) or
+// the legacy gob protocol; both run the same serving path.
 func (m *Master) Start(addr string) (string, error) {
 	m.mu.Lock()
 	if m.closed {
@@ -465,30 +632,81 @@ func (m *Master) Start(addr string) (string, error) {
 	return l.Addr().String(), nil
 }
 
+// serveClient detects the session protocol by its first bytes and runs the
+// matching codec loop.
 func (m *Master) serveClient(c net.Conn) {
 	defer c.Close()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReader(c)
+	peek, err := br.Peek(len(serve.Magic))
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			m.m.clientsDropped.Inc()
+		}
+		return
+	}
+	if bytes.Equal(peek, serve.Magic[:]) {
+		br.Discard(len(serve.Magic))
+		m.serveBinaryClient(c, br)
+		return
+	}
+	m.serveGobClient(c, br)
+}
+
+// handleQueryRequest runs one client query on the serving path; failures
+// become response-carried errors with their typed code.
+func (m *Master) handleQueryRequest(client string, req QueryRequest) QueryResponse {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if req.TimeoutMillis > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+	}
+	resp, err := m.query(ctx, client, req.SQL, req.AllowPartial || m.cfg.AllowPartial)
+	cancel()
+	if err != nil {
+		resp = QueryResponse{Err: err.Error(), ErrCode: errCodeFor(err)}
+	}
+	return resp
+}
+
+// serveBinaryClient pipelines query frames: each request executes on its
+// own goroutine (bounded by ClientPipeline) and responses return in
+// completion order, so one expensive query never blocks the cheap ones
+// behind it on the same connection.
+func (m *Master) serveBinaryClient(c net.Conn, br *bufio.Reader) {
+	client := c.RemoteAddr().String()
+	err := serve.ServeConn(c, br, m.cfg.ClientPipeline, func(typ byte, payload []byte) (byte, serve.Marshaler, error) {
+		if typ != msgQueryReq {
+			return 0, nil, fmt.Errorf("dist: unexpected client frame type %d", typ)
+		}
+		var req QueryRequest
+		if err := req.UnmarshalWire(payload); err != nil {
+			return 0, nil, err
+		}
+		resp := m.handleQueryRequest(client, req)
+		return msgQueryResp, &resp, nil
+	})
+	if err != nil && !errors.Is(err, io.EOF) && !m.isClosed() {
+		m.m.clientsDropped.Inc()
+	}
+}
+
+// serveGobClient is the legacy session loop: one request/response exchange
+// at a time over a gob codec pair.
+func (m *Master) serveGobClient(c net.Conn, br *bufio.Reader) {
+	client := c.RemoteAddr().String()
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(c)
 	for {
 		var req QueryRequest
 		if err := dec.Decode(&req); err != nil {
 			// EOF is the client hanging up cleanly; anything else is a
 			// dropped session worth counting.
-			if !errors.Is(err, io.EOF) {
+			if !errors.Is(err, io.EOF) && !m.isClosed() {
 				m.m.clientsDropped.Inc()
 			}
 			return
 		}
-		ctx := context.Background()
-		cancel := context.CancelFunc(func() {})
-		if req.TimeoutMillis > 0 {
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
-		}
-		resp, err := m.query(ctx, req.SQL, req.AllowPartial || m.cfg.AllowPartial)
-		cancel()
-		if err != nil {
-			resp = QueryResponse{Err: err.Error()}
-		}
+		resp := m.handleQueryRequest(client, req)
 		if err := enc.Encode(&resp); err != nil {
 			m.m.clientsDropped.Inc()
 			return
@@ -496,7 +714,13 @@ func (m *Master) serveClient(c net.Conn) {
 	}
 }
 
-// Close shuts down the client listener and worker connections. Close is
+func (m *Master) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Close shuts down the client listener and worker links. Close is
 // idempotent; it waits for in-flight client sessions to finish.
 func (m *Master) Close() error {
 	m.mu.Lock()
@@ -506,10 +730,10 @@ func (m *Master) Close() error {
 	}
 	m.closed = true
 	l := m.listener
-	for i, w := range m.workers {
+	for i, w := range m.links {
 		if w != nil {
-			w.Close()
-			m.workers[i] = nil
+			w.close()
+			m.links[i] = nil
 		}
 	}
 	m.mu.Unlock()
@@ -521,14 +745,16 @@ func (m *Master) Close() error {
 	return err
 }
 
-// Client speaks SQL to a master over TCP.
+// Client speaks SQL to a master over TCP with the legacy gob protocol. Its
+// connection mutex serialises exchanges; for pipelined concurrent queries
+// over one connection use MuxClient.
 type Client struct {
 	conn *conn
 	// allowPartial opts future queries into partial results (SetAllowPartial).
 	allowPartial bool
 }
 
-// Dial connects to a master.
+// Dial connects to a master with the legacy gob protocol.
 func Dial(addr string) (*Client, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -568,7 +794,7 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (QueryResponse, e
 		return QueryResponse{}, err
 	}
 	if resp.Err != "" {
-		return QueryResponse{}, errors.New(resp.Err)
+		return QueryResponse{}, respError(resp)
 	}
 	return resp, nil
 }

@@ -30,6 +30,17 @@ const (
 	MetricPartialResults  = "dist_partial_results_total"
 	MetricClientsDropped  = "dist_client_sessions_dropped_total"
 
+	// Serving front-end counters (DESIGN.md §12): descriptor/result cache
+	// effectiveness, admission-control sheds, cache invalidations, and clean
+	// deadline expiries that kept their connection (the churn fix).
+	MetricPlanCacheHits      = "dist_plan_cache_hits_total"
+	MetricPlanCacheMisses    = "dist_plan_cache_misses_total"
+	MetricResultCacheHits    = "dist_result_cache_hits_total"
+	MetricResultCacheMisses  = "dist_result_cache_misses_total"
+	MetricCacheInvalidations = "dist_cache_invalidations_total"
+	MetricQueriesShed        = "dist_queries_shed_total"
+	MetricCleanExpiries      = "dist_call_clean_expiries_total"
+
 	MetricWorkerScans         = "worker_scan_requests_total"
 	MetricWorkerRows          = "worker_rows_matched_total"
 	MetricWorkerBytesRead     = "worker_bytes_read_total"
@@ -47,6 +58,12 @@ const (
 	// materialization). Their ratio is the live skipping effectiveness.
 	MetricWorkerScanBytesDecoded = "worker_scan_bytes_decoded"
 	MetricWorkerScanBytesSkipped = "worker_scan_bytes_skipped"
+
+	// MetricWorkerSharedScans counts kernel passes avoided by attaching to an
+	// identical in-flight scan (same partitions, same predicate class)
+	// instead of running them: one per partition of an attached batch, one
+	// per attached single-partition scan.
+	MetricWorkerSharedScans = "worker_shared_scans_total"
 )
 
 // FanoutBuckets are the histogram bounds for scatter width (workers hit per
@@ -73,6 +90,14 @@ type masterMetrics struct {
 	partials       *obs.Counter
 	clientsDropped *obs.Counter
 	workerCalls    []*obs.Timer
+
+	planHits           *obs.Counter
+	planMisses         *obs.Counter
+	resultHits         *obs.Counter
+	resultMisses       *obs.Counter
+	cacheInvalidations *obs.Counter
+	overloads          *obs.Counter
+	cleanExpiries      *obs.Counter
 }
 
 // SetMetrics attaches (or, with nil, detaches) master telemetry: query
@@ -100,6 +125,14 @@ func (m *Master) SetMetrics(reg *obs.Registry) {
 		deadlines:      reg.Counter(MetricDeadlineExpired),
 		partials:       reg.Counter(MetricPartialResults),
 		clientsDropped: reg.Counter(MetricClientsDropped),
+
+		planHits:           reg.Counter(MetricPlanCacheHits),
+		planMisses:         reg.Counter(MetricPlanCacheMisses),
+		resultHits:         reg.Counter(MetricResultCacheHits),
+		resultMisses:       reg.Counter(MetricResultCacheMisses),
+		cacheInvalidations: reg.Counter(MetricCacheInvalidations),
+		overloads:          reg.Counter(MetricQueriesShed),
+		cleanExpiries:      reg.Counter(MetricCleanExpiries),
 	}
 	mm.workerCalls = make([]*obs.Timer, len(m.addrs))
 	for i := range mm.workerCalls {
@@ -132,6 +165,7 @@ type workerMetrics struct {
 	deadlineDrops *obs.Counter
 	decodedHist   *obs.Histogram
 	skippedHist   *obs.Histogram
+	sharedScans   *obs.Counter
 }
 
 // SetMetrics attaches (or, with nil, detaches) worker telemetry: scan and
@@ -155,5 +189,6 @@ func (w *Worker) SetMetrics(reg *obs.Registry) {
 		deadlineDrops: reg.Counter(MetricWorkerDeadlineDrops),
 		decodedHist:   reg.Histogram(MetricWorkerScanBytesDecoded, obs.ByteBuckets()),
 		skippedHist:   reg.Histogram(MetricWorkerScanBytesSkipped, obs.ByteBuckets()),
+		sharedScans:   reg.Counter(MetricWorkerSharedScans),
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/serve"
 )
 
 // ScanRequest asks a worker to scan a set of its partitions with one range
@@ -82,6 +83,10 @@ type QueryResponse struct {
 	PartitionsScanned int
 	SubQueries        int
 	Err               string
+	// ErrCode is the typed code for Err (ErrCodeNone for generic failures;
+	// ErrCodeOverloaded when admission control shed the query). The field is
+	// a late, gob-compatible addition: old decoders ignore it.
+	ErrCode int
 	// Partial reports that some partitions were unreachable and the result
 	// covers only the rest (only when the request allowed partial results).
 	Partial bool
@@ -105,13 +110,20 @@ func newConn(c net.Conn) *conn {
 // call performs one request/response round trip under ctx: the context
 // deadline maps to SetReadDeadline/SetWriteDeadline on the connection, and a
 // cancellation mid-call interrupts the blocked I/O the same way, so a hung
-// peer can never wedge the caller. A call that fails poisons the gob stream;
-// the caller must drop the connection and redial.
+// peer can never wedge the caller.
+//
+// A call that fails mid-exchange poisons the gob stream and the caller must
+// drop the connection; but a call whose context was already done when it
+// reached the stream — a clean deadline expiry, typically while queued
+// behind another exchange on the connection mutex — never touched the codec
+// pair and returns a serve.NotSentError so the caller can keep the
+// connection (the redial-on-clean-expiry churn this avoids is a regression
+// test).
 func (c *conn) call(ctx context.Context, req, resp any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("dist: call aborted: %w", err)
+		return &serve.NotSentError{Err: fmt.Errorf("dist: call aborted: %w", err)}
 	}
 	if d, ok := ctx.Deadline(); ok {
 		c.c.SetDeadline(d)

@@ -51,6 +51,12 @@ func TestMasterRetriesAfterWorkerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The test re-issues one SQL statement to drive the stale-connection call
+	// path; a result-cache hit would answer without touching the wire and
+	// skip the redial under test.
+	cfg := DefaultConfig()
+	cfg.ResultCacheSize = 0
+	m.Configure(cfg)
 	reg := obs.New()
 	m.SetMetrics(reg)
 	defer m.Close()

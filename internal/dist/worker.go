@@ -1,22 +1,40 @@
 package dist
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"paw/internal/blockstore"
+	"paw/internal/colstore"
+	"paw/internal/geom"
 	"paw/internal/layout"
 	"paw/internal/parbuild"
+	"paw/internal/serve"
 )
+
+// workerMaxInflight bounds the scan requests one binary session may have
+// executing concurrently. The scan pool bounds actual kernel parallelism;
+// this only caps per-session queue build-up.
+const workerMaxInflight = 64
 
 // Worker hosts a subset of a store's partitions and serves ScanRequests.
 // A worker only answers for the partitions assigned to it; requests for
 // foreign partitions are errors (they indicate a master/placement bug).
+//
+// Sessions speak either the multiplexed binary frame protocol (detected by
+// the serve.Magic preamble) or the legacy gob codec pair. Binary sessions
+// pipeline: every request runs on its own goroutine and responses return in
+// completion order.
 type Worker struct {
 	store    *blockstore.Store
 	assigned map[layout.ID]bool
@@ -24,6 +42,20 @@ type Worker struct {
 	// for concurrent drivers, so all connections share the one bounded pool —
 	// total scan parallelism stays bounded regardless of session count.
 	scanPool *parbuild.Pool
+	// flight coalesces concurrent identical scans (same partition, same
+	// predicate class): one kernel pass runs and every waiter shares its
+	// stats. Keys are partition ID + query-box bytes.
+	flight serve.Flight[colstore.ScanStats]
+	// batchFlight coalesces whole identical scan batches (same partition
+	// list, same predicate class). Per-partition sharing alone rarely fires
+	// in the serving path: identical concurrent batches walk the same ID
+	// list in the same order, so they stay one partition out of phase and
+	// never overlap inside any single short kernel pass. Batch-level keys
+	// make the whole multi-partition execution the sharing window.
+	batchFlight serve.Flight[ScanResponse]
+	// scanHook, when set, observes every kernel scan actually executed (not
+	// the shared attachments). Test-only.
+	scanHook func(layout.ID)
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -121,6 +153,9 @@ func (w *Worker) untrackConn(c net.Conn) {
 	}
 }
 
+// serveConn detects the session protocol by its first bytes: the binary
+// frame protocol announces itself with the serve.Magic preamble, anything
+// else is a legacy gob codec pair.
 func (w *Worker) serveConn(c net.Conn) {
 	if !w.trackConn(c) {
 		c.Close()
@@ -128,7 +163,43 @@ func (w *Worker) serveConn(c net.Conn) {
 	}
 	defer w.untrackConn(c)
 	defer c.Close()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReader(c)
+	peek, err := br.Peek(len(serve.Magic))
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !w.isClosed() {
+			w.m.dropped.Inc()
+		}
+		return
+	}
+	if bytes.Equal(peek, serve.Magic[:]) {
+		br.Discard(len(serve.Magic))
+		w.serveBinaryConn(c, br)
+		return
+	}
+	w.serveGobConn(c, br)
+}
+
+// serveBinaryConn pipelines scan frames over one multiplexed session.
+func (w *Worker) serveBinaryConn(c net.Conn, br *bufio.Reader) {
+	err := serve.ServeConn(c, br, workerMaxInflight, func(typ byte, payload []byte) (byte, serve.Marshaler, error) {
+		if typ != msgScanReq {
+			return 0, nil, fmt.Errorf("dist: unexpected worker frame type %d", typ)
+		}
+		var req ScanRequest
+		if err := req.UnmarshalWire(payload); err != nil {
+			return 0, nil, err
+		}
+		resp := w.handle(req)
+		return msgScanResp, &resp, nil
+	})
+	if err != nil && !errors.Is(err, io.EOF) && !w.isClosed() {
+		w.m.dropped.Inc()
+	}
+}
+
+// serveGobConn is the legacy session loop: one exchange at a time.
+func (w *Worker) serveGobConn(c net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(c)
 	for {
 		var req ScanRequest
@@ -148,13 +219,84 @@ func (w *Worker) serveConn(c net.Conn) {
 	}
 }
 
-// handle executes one scan batch. A per-partition failure stops the batch
-// and names the failing partition, but the telemetry for the partitions
-// already scanned is flushed regardless — a partial batch still did real
-// I/O. The wire deadline is honored between partitions: work the master has
-// already abandoned is dropped instead of scanned.
+// scanKey is the scan-sharing key: one partition under one predicate class.
+// The box bytes identify the predicate — two requests share a kernel pass
+// only when their rewritten range is bit-identical, so sharing can never
+// change a result.
+func scanKey(id layout.ID, q geom.Box) string {
+	b := make([]byte, 0, 8+16*len(q.Lo))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
+	for _, v := range q.Lo {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for _, v := range q.Hi {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// scanPartition runs (or attaches to) the kernel scan of one partition.
+func (w *Worker) scanPartition(id layout.ID, q geom.Box) (colstore.ScanStats, error) {
+	st, shared, err := w.flight.Do(scanKey(id, q), func() (colstore.ScanStats, error) {
+		if w.scanHook != nil {
+			w.scanHook(id)
+		}
+		return w.store.ScanPartitionParallel(id, q, w.scanPool)
+	})
+	if shared {
+		w.m.sharedScans.Inc()
+	}
+	return st, err
+}
+
+// batchKey is the whole-batch sharing key: the ordered partition list plus
+// the predicate box. Seq and Deadline are deliberately excluded — they vary
+// per request but do not change what a clean scan returns.
+func batchKey(req ScanRequest) string {
+	b := make([]byte, 0, 8*len(req.IDs)+16*len(req.Query.Lo))
+	for _, id := range req.IDs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
+	}
+	for _, v := range req.Query.Lo {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for _, v := range req.Query.Hi {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// handle executes one scan batch, coalescing onto an identical in-flight
+// batch when one exists. A shared result is only reused when it is clean: an
+// errored leader batch (deadline drop, partition failure) reflects the
+// leader's deadline and abort point, so a waiter that inherits one re-runs
+// the batch under its own request instead.
 func (w *Worker) handle(req ScanRequest) ScanResponse {
 	w.m.scans.Inc()
+	resp, shared, _ := w.batchFlight.Do(batchKey(req), func() (ScanResponse, error) {
+		// Coalescing point (group-commit style): the leader gives every
+		// already-decoded sibling request one scheduling turn to attach
+		// before the kernel passes start. Without it a non-blocking batch
+		// runs to completion before equal requests ever enter the flight —
+		// on a single-P runtime they would serialise and never share.
+		runtime.Gosched()
+		return w.execBatch(req), nil
+	})
+	if shared {
+		if resp.Err != "" {
+			return w.execBatch(req)
+		}
+		w.m.sharedScans.Add(int64(len(req.IDs)))
+	}
+	return resp
+}
+
+// execBatch runs one scan batch for real. A per-partition failure stops the
+// batch and names the failing partition, but the telemetry for the
+// partitions already scanned is flushed regardless — a partial batch still
+// did real I/O. The wire deadline is honored between partitions: work the
+// master has already abandoned is dropped instead of scanned.
+func (w *Worker) execBatch(req ScanRequest) ScanResponse {
 	resp := ScanResponse{FailedPartition: -1}
 	var deadline time.Time
 	if req.Deadline > 0 {
@@ -173,7 +315,7 @@ func (w *Worker) handle(req ScanRequest) ScanResponse {
 			w.m.errors.Inc()
 			break
 		}
-		st, err := w.store.ScanPartitionParallel(id, req.Query, w.scanPool)
+		st, err := w.scanPartition(id, req.Query)
 		if err != nil {
 			resp.Err = err.Error()
 			resp.FailedPartition = int64(id)
