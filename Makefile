@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving obs-demo
+.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving bench-drift obs-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -22,11 +22,12 @@ test:
 
 # race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild),
 # the concurrent routing/costing paths (layout batch sweeps, router, tuner),
-# the benchmark harness and the invariant/simulation suites under the race
-# detector in short mode. Any new fan-out point must pass this before
-# merging.
+# the benchmark harness, the invariant/simulation suites and the online
+# reorganization path (ingest, adaptive baseline, drift monitor + migration)
+# under the race detector in short mode. Any new fan-out point must pass this
+# before merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/... ./internal/adaptive/... ./internal/ingest/... ./internal/drift/...
 
 # chaos runs the deterministic fault-injection suite (DESIGN.md §10) under
 # the race detector: every TestChaos* scenario drives the distributed path
@@ -39,13 +40,17 @@ chaos:
 # fuzz gives every fuzz target a short budget: the invariant harness
 # (builders must satisfy the oracles on fuzzed scenarios), the δ-estimation
 # differential (bottleneck matching vs. brute force), the routing/codec
-# differentials in internal/layout, and the scan-kernel differential
-# (vectorized kernels vs naive scan across every encoding, v1+v2 codecs).
+# differentials in internal/layout, the scan-kernel differential (vectorized
+# kernels vs naive scan across every encoding, v1+v2 codecs), and the drift
+# differential (fuzzed query streams against a live cluster with the drift
+# controller attached — every answer must match the static-layout oracle,
+# before, during and after any migration).
 fuzz:
 	$(GO) test ./internal/sim -run FuzzInvariants -fuzz FuzzInvariants -fuzztime 30s
 	$(GO) test ./internal/workload -run FuzzMinimalDelta -fuzz FuzzMinimalDelta -fuzztime 30s
 	$(GO) test ./internal/layout -run FuzzRoutingDifferential -fuzz FuzzRoutingDifferential -fuzztime 30s
 	$(GO) test ./internal/colstore -run FuzzScanDifferential -fuzz FuzzScanDifferential -fuzztime 30s
+	$(GO) test ./internal/drift -run FuzzDriftDifferential -fuzz FuzzDriftDifferential -fuzztime 30s
 
 # bench-construction regenerates BENCH_construction.json: construction
 # ns/op, allocs/op and parallel speedup at 1/2/4/8 workers, tracked across
@@ -72,6 +77,14 @@ bench-scan:
 # PRs.
 bench-serving:
 	$(GO) run ./cmd/pawbench -serving BENCH_serving.json
+
+# bench-drift regenerates BENCH_drift.json: the drifting-workload scenario
+# family played against live clusters with the drift controller attached —
+# trigger fidelity per scenario, cost-regression recovery time, queries
+# served during migration, and the offline-rebuild / adaptive (AQWA-style)
+# baselines, tracked across PRs.
+bench-drift:
+	$(GO) run ./cmd/pawbench -drift BENCH_drift.json
 
 # obs-demo exercises the telemetry pipeline end to end: build a layout with
 # the metrics registry attached, emit the structured build report (phase

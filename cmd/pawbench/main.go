@@ -36,6 +36,7 @@ func main() {
 		routing      = flag.String("routing", "", "write the routing benchmark (ns/query, q/s, allocs/query for linear vs indexed range+point routing) as JSON to this path and exit")
 		scan         = flag.String("scan", "", "write the columnar-scan benchmark (MB/s, rows/s, bytes skipped, allocs/op, encoded-vs-naive speedup) as JSON to this path and exit")
 		serving      = flag.String("serving", "", "write the serving benchmark (qps, p50/p99, saturation point, binary-vs-gob transport speedup over an in-process cluster) as JSON to this path and exit")
+		drift        = flag.String("drift", "", "write the drift benchmark (trigger fidelity, recovery time, queries served during migration, offline-rebuild and adaptive baselines over live clusters) as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -83,6 +84,13 @@ func main() {
 	}
 	if *serving != "" {
 		if err := runServing(cfg, *serving); err != nil {
+			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *drift != "" {
+		if err := runDrift(cfg, *drift); err != nil {
 			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
 			os.Exit(1)
 		}

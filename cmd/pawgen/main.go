@@ -142,6 +142,7 @@ func cmdPartition(args []string) {
 	blocks := fs.Int("blocks", 600, "target block count (sets bmin)")
 	seed := fs.Int64("seed", 2, "workload seed")
 	layoutOut := fs.String("layout-out", "layout.pawl", "layout output path")
+	queriesOut := fs.String("queries-out", "", "also save the historical workload as a query log (.pawq) — pawmaster's -drift-hist reference")
 	mustParse(fs, args)
 	if *in == "" {
 		fatalf("partition: -in is required")
@@ -177,6 +178,21 @@ func cmdPartition(args []string) {
 		fatalf("writing %s: %v", *layoutOut, err)
 	}
 	fmt.Printf("wrote %s: %s\n", *layoutOut, l)
+	if *queriesOut != "" {
+		var qlog workload.Log
+		for _, q := range hist {
+			qlog.Record(q.Box)
+		}
+		qf, err := os.Create(*queriesOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer qf.Close()
+		if err := qlog.Encode(qf); err != nil {
+			fatalf("writing %s: %v", *queriesOut, err)
+		}
+		fmt.Printf("wrote %s: %d historical queries\n", *queriesOut, qlog.Len())
+	}
 }
 
 func cmdLayoutInfo(args []string) {

@@ -11,6 +11,12 @@
 // down; pawworker must be started with the same -replicas value so every
 // process derives the same placement without coordination. The retry,
 // backoff and breaker flags tune the failure handling of DESIGN.md §10.
+//
+// With -drift the master watches live queries for workload drift (DESIGN.md
+// §13): when the stream leaves the layout's variance scope (-drift-delta,
+// the δ the layout was built with, referenced against the -drift-hist query
+// log) and observed scan cost regresses, it rebuilds the violated region and
+// migrates the workers onto the patched layout without stopping service.
 package main
 
 import (
@@ -24,15 +30,17 @@ import (
 
 	"paw/internal/dataset"
 	"paw/internal/dist"
+	"paw/internal/drift"
 	"paw/internal/layout"
 	"paw/internal/obs"
 	"paw/internal/placement"
 	"paw/internal/router"
+	"paw/internal/workload"
 )
 
 func main() {
 	var (
-		dataPath   = flag.String("data", "", "dataset file (.pawd; only column names are used)")
+		dataPath   = flag.String("data", "", "dataset file (.pawd; column names drive SQL routing, full rows feed drift rebuilds)")
 		layoutPath = flag.String("layout", "", "layout file (.pawl)")
 		workers    = flag.String("workers", "", "comma-separated worker addresses")
 		listen     = flag.String("listen", "127.0.0.1:7100", "client listen address")
@@ -58,6 +66,19 @@ func main() {
 		resultCache    = flag.Int("result-cache", 256, "clean-result cache entries, invalidated on layout/placement change (0: off)")
 		maxInflight    = flag.Int("max-inflight", 256, "admission control: queries executing concurrently before new ones queue (0: unbounded, no admission)")
 		maxQueued      = flag.Int("max-queued", 32, "admission control: queued queries per client before shedding with an overload error")
+
+		driftOn       = flag.Bool("drift", false, "watch live queries for workload drift and migrate the cluster onto an incrementally rebuilt layout when the variance scope is violated (needs -drift-hist and -drift-delta)")
+		driftHist     = flag.String("drift-hist", "", "historical query log (.pawq) the layout was built from — the drift monitor's reference workload")
+		driftDelta    = flag.Float64("drift-delta", 0, "variance scope δ the layout was built with (absolute domain units)")
+		driftWindow   = flag.Int("drift-window", 256, "drift monitor sliding window, in observed queries")
+		driftCheck    = flag.Int("drift-check-every", 32, "run the drift decision every N observations")
+		driftSlack    = flag.Float64("drift-delta-slack", 1, "scale δ before the scope check (>1: lazier trigger than the build-time scope)")
+		driftCost     = flag.Float64("drift-cost-factor", 1.3, "trigger only when the window's average scan bytes exceed this factor times the baseline")
+		driftGain     = flag.Float64("drift-min-gain", 0.05, "minimum fraction of modeled window cost a rebuild must cut, or the migration is skipped")
+		driftCooldown = flag.Int("drift-cooldown", 0, "observations to mute the monitor after a migration or skipped trigger (0: one window)")
+		driftReplicas = flag.Int("drift-replicas", 1, "replica count for partitions added by a drift rebuild (surviving partitions keep their replica sets)")
+		driftValidate = flag.Bool("drift-validate", true, "run the invariant drift/cutover oracles on every patch before it is applied")
+		driftSeed     = flag.Int64("drift-seed", 1, "seed for the rebuild's sampling and the oracle probes")
 	)
 	flag.Parse()
 	if _, err := obs.SetupLogger(*logLevel); err != nil {
@@ -124,11 +145,12 @@ func main() {
 		MaxInflightQueries: *maxInflight,
 		MaxQueuedPerClient: *maxQueued,
 	})
+	var reg *obs.Registry
 	if *metrics != "" {
-		// One registry for both layers: routing (latency histogram,
-		// partitions/bytes touched) and the distributed path (fan-out,
-		// per-worker call timers, redials, in-flight).
-		reg := obs.New()
+		// One registry for all layers: routing (latency histogram,
+		// partitions/bytes touched), the distributed path (fan-out,
+		// per-worker call timers, redials, in-flight) and the drift loop.
+		reg = obs.New()
 		rm.SetMetrics(reg)
 		m.SetMetrics(reg)
 		srv, err := obs.Serve(*metrics, reg)
@@ -138,6 +160,37 @@ func main() {
 		defer srv.Close()
 		slog.Info("telemetry enabled", "metrics", "http://"+srv.Addr()+"/metrics",
 			"pprof", "http://"+srv.Addr()+"/debug/pprof/")
+	}
+	if *driftOn {
+		if *driftHist == "" || *driftDelta <= 0 {
+			fatalf("-drift needs -drift-hist (the reference query log) and -drift-delta > 0")
+		}
+		hf, err := os.Open(*driftHist)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		histLog, err := workload.DecodeLog(hf)
+		hf.Close()
+		if err != nil {
+			fatalf("reading %s: %v", *driftHist, err)
+		}
+		ctl := drift.New(m, data, histLog.Workload(), drift.Config{
+			Window:     *driftWindow,
+			CheckEvery: *driftCheck,
+			Delta:      *driftDelta,
+			DeltaSlack: *driftSlack,
+			CostFactor: *driftCost,
+			MinGain:    *driftGain,
+			Cooldown:   *driftCooldown,
+			Replicas:   *driftReplicas,
+			Validate:   *driftValidate,
+			Seed:       *driftSeed,
+		})
+		ctl.SetMetrics(reg)
+		ctl.Attach(true)
+		defer ctl.Detach()
+		slog.Info("drift monitor attached", "window", *driftWindow, "check_every", *driftCheck,
+			"delta", *driftDelta, "cost_factor", *driftCost, "reference_queries", histLog.Len())
 	}
 	addr, err := m.Start(*listen)
 	if err != nil {

@@ -10,6 +10,7 @@ const (
 	RoutingSchema      = "paw/bench-routing/v1"
 	ScanSchema         = "paw/bench-scan/v1"
 	ServingSchema      = "paw/bench-serving/v1"
+	DriftSchema        = "paw/bench-drift/v1"
 )
 
 // Host identifies the machine and toolchain a benchmark artifact was

@@ -26,6 +26,8 @@ const (
 	msgScanResp
 	msgQueryReq
 	msgQueryResp
+	msgAdminReq
+	msgAdminResp
 )
 
 // Error codes carried in QueryResponse.ErrCode alongside Err. Code 0 with a
@@ -166,6 +168,7 @@ func (q *ScanRequest) AppendWire(buf []byte) []byte {
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, q.Seq)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.Deadline))
+	buf = binary.LittleEndian.AppendUint64(buf, q.Epoch)
 	return buf
 }
 
@@ -176,6 +179,53 @@ func (q *ScanRequest) UnmarshalWire(data []byte) error {
 	q.IDs = r.ids()
 	q.Seq = r.u64()
 	q.Deadline = r.i64()
+	q.Epoch = r.u64()
+	return r.err
+}
+
+// AppendWire encodes the admin request for the frame protocol.
+func (q *AdminRequest) AppendWire(buf []byte) []byte {
+	buf = append(buf, byte(q.Op))
+	buf = binary.LittleEndian.AppendUint64(buf, q.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(q.ID)))
+	buf = binary.LittleEndian.AppendUint64(buf, q.ReuseEpoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(q.ReuseID)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.Payload)))
+	buf = append(buf, q.Payload...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.Rows))
+	buf = binary.LittleEndian.AppendUint64(buf, q.Seq)
+	return buf
+}
+
+// UnmarshalWire decodes an encoded AdminRequest.
+func (q *AdminRequest) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	q.Op = int(r.u8())
+	q.Epoch = r.u64()
+	q.ID = layout.ID(r.i64())
+	q.ReuseEpoch = r.u64()
+	q.ReuseID = layout.ID(r.i64())
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return r.err
+	}
+	q.Payload = append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	q.Rows = r.i64()
+	q.Seq = r.u64()
+	return r.err
+}
+
+// AppendWire encodes the admin response for the frame protocol.
+func (s *AdminResponse) AppendWire(buf []byte) []byte {
+	return appendString(buf, s.Err)
+}
+
+// UnmarshalWire decodes an encoded AdminResponse.
+func (s *AdminResponse) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	s.Err = r.str()
 	return r.err
 }
 

@@ -111,15 +111,24 @@ func (c Config) normalized() Config {
 // failover. Above the scatter path sits the serving front-end (DESIGN.md
 // §12): a descriptor cache, a result cache and fair admission control.
 type Master struct {
-	router   *router.Master
-	replicas placement.Replicated // partition -> replica set, primary first
+	// view is the current routing state (router + placement + layout
+	// epoch), swapped atomically at migration cutover so the query path
+	// reads one consistent snapshot without locks. mig, when non-nil, is an
+	// in-progress migration: the query path double-routes between view and
+	// mig's next view (see planFor).
+	view atomic.Pointer[routeView]
+	mig  atomic.Pointer[activeMigration]
+	// observer, when set, sees every served query (SetQueryObserver) — the
+	// drift monitor's feed.
+	observer atomic.Pointer[func(QueryObservation)]
+
 	cfg      Config
 	jit      *jitter
 	breakers []breaker
 	seq      atomic.Uint64 // request-ID source
 
 	// planCache/resultCache are nil when disabled; admission likewise.
-	planCache   *serve.LRU[string, router.Plan]
+	planCache   *serve.LRU[string, cachedPlan]
 	resultCache *serve.LRU[string, QueryResponse]
 	admission   *serve.Admission
 
@@ -149,14 +158,79 @@ func NewMasterReplicated(r *router.Master, workerAddrs []string, rep placement.R
 		return nil, fmt.Errorf("dist: %w", err)
 	}
 	m := &Master{
-		router:   r,
-		replicas: rep,
 		breakers: make([]breaker, len(workerAddrs)),
 		links:    make([]workerLink, len(workerAddrs)),
 		addrs:    append([]string(nil), workerAddrs...),
 	}
+	m.view.Store(&routeView{router: r, replicas: rep})
 	m.Configure(DefaultConfig())
 	return m, nil
+}
+
+// routeView is one immutable routing snapshot: the router over one sealed
+// layout, the placement of that layout's partitions, and the layout epoch
+// the workers know those partition IDs under. inflight counts the queries
+// currently served from the snapshot, so a cutover can wait for the old
+// epoch to drain before retiring it on the workers.
+type routeView struct {
+	router   *router.Master
+	replicas placement.Replicated // partition -> replica set, primary first
+	epoch    uint64
+	inflight atomic.Int64
+}
+
+// Epoch returns the layout epoch the master currently serves.
+func (m *Master) Epoch() uint64 { return m.view.Load().epoch }
+
+// Router returns the router of the currently served layout epoch.
+func (m *Master) Router() *router.Master { return m.view.Load().router }
+
+// NumWorkers returns the size of the fixed worker fleet.
+func (m *Master) NumWorkers() int { return len(m.addrs) }
+
+// Placement returns the current partition placement (shared, do not mutate).
+func (m *Master) Placement() placement.Replicated { return m.view.Load().replicas }
+
+// QueryObservation is what a drift monitor sees per served query
+// (SetQueryObserver): the routed ranges with their partition lists, the scan
+// cost the response reported, and the epoch it was served under. Cached
+// marks result-cache hits — they represent real demand (the monitor should
+// weigh them) but did no new I/O.
+type QueryObservation struct {
+	Ranges       []geom.Box
+	IDs          []layout.ID
+	BytesScanned int64
+	Epoch        uint64
+	Cached       bool
+}
+
+// SetQueryObserver installs (or, with nil, removes) the per-query
+// observation hook. The hook runs synchronously on the serving path — it
+// must be cheap and must not call back into the master.
+func (m *Master) SetQueryObserver(f func(QueryObservation)) {
+	if f == nil {
+		m.observer.Store(nil)
+		return
+	}
+	m.observer.Store(&f)
+}
+
+func (m *Master) observe(plan router.Plan, resp *QueryResponse, epoch uint64, cached bool) {
+	f := m.observer.Load()
+	if f == nil {
+		return
+	}
+	ob := QueryObservation{
+		IDs:          plan.PartitionIDs(),
+		BytesScanned: resp.BytesScanned,
+		Epoch:        epoch,
+		Cached:       cached,
+	}
+	ob.Ranges = make([]geom.Box, len(plan.Ranges))
+	for i, rp := range plan.Ranges {
+		ob.Ranges[i] = rp.Range
+	}
+	(*f)(ob)
 }
 
 // Configure replaces the failure-handling and serving configuration. Zero
@@ -170,7 +244,7 @@ func (m *Master) Configure(cfg Config) {
 	m.jit = newJitter(cfg.Retry.Seed)
 	m.planCache, m.resultCache, m.admission = nil, nil, nil
 	if cfg.PlanCacheSize > 0 {
-		m.planCache = serve.NewLRU[string, router.Plan](cfg.PlanCacheSize)
+		m.planCache = serve.NewLRU[string, cachedPlan](cfg.PlanCacheSize)
 	}
 	if cfg.ResultCacheSize > 0 {
 		m.resultCache = serve.NewLRU[string, QueryResponse](cfg.ResultCacheSize)
@@ -365,23 +439,56 @@ func (m *Master) QueryContext(ctx context.Context, sql string) (QueryResponse, e
 // on the master rather than through a network session.
 const localClient = "local"
 
-// route resolves sql to a routing plan through the descriptor cache. Plans
-// are immutable after routing, so cached plans are shared across queries.
-func (m *Master) route(sql string) (router.Plan, error) {
+// cachedPlan is one descriptor-cache entry: the routed plan plus the layout
+// epoch it was routed against. The epoch guards the cache across migration
+// cutovers: a query racing the cutover can neither serve a not-yet-swept
+// old-epoch plan against the new placement nor re-install a stale plan after
+// the sweep ran — an epoch mismatch is simply a miss, and the re-route
+// overwrites the entry under the view's own epoch.
+type cachedPlan struct {
+	plan  router.Plan
+	epoch uint64
+}
+
+// route resolves sql to a routing plan for view v through the descriptor
+// cache. Plans are immutable after routing, so cached plans are shared
+// across queries. Entries are keyed to v's epoch — the cutover sweep
+// translates or drops them when the layout changes, and entries from any
+// other epoch read as misses.
+func (m *Master) route(v *routeView, sql string) (router.Plan, error) {
 	if m.planCache == nil {
-		return m.router.RouteSQL(sql)
+		return v.router.RouteSQL(sql)
 	}
-	if plan, ok := m.planCache.Get(sql); ok {
+	if e, ok := m.planCache.Get(sql); ok && e.epoch == v.epoch {
 		m.m.planHits.Inc()
-		return plan, nil
+		return e.plan, nil
 	}
 	m.m.planMisses.Inc()
-	plan, err := m.router.RouteSQL(sql)
+	plan, err := v.router.RouteSQL(sql)
 	if err != nil {
 		return plan, err
 	}
-	m.planCache.Put(sql, plan)
+	m.planCache.Put(sql, cachedPlan{plan: plan, epoch: v.epoch})
 	return plan, nil
+}
+
+// planFor resolves sql under double-routing (DESIGN.md §13). With a
+// migration in progress, the query is routed against the next layout and
+// served from it iff every partition the plan touches has already been
+// installed on its workers; otherwise — and always outside migrations — the
+// current view serves it. next reports which side was chosen (next-view
+// results must not populate the caches: their keys belong to the epoch that
+// has not cut over yet).
+func (m *Master) planFor(sql string) (v *routeView, plan router.Plan, next bool, err error) {
+	if mg := m.mig.Load(); mg != nil {
+		plan, err := mg.view.router.RouteSQL(sql)
+		if err == nil && mg.planReady(plan) {
+			return mg.view, plan, true, nil
+		}
+	}
+	v = m.view.Load()
+	plan, err = m.route(v, sql)
+	return v, plan, false, err
 }
 
 // query is the serving path shared by direct calls and network sessions:
@@ -407,6 +514,14 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 	if m.resultCache != nil {
 		if resp, ok := m.resultCache.Get(sql); ok {
 			m.m.resultHits.Inc()
+			if m.observer.Load() != nil {
+				// The monitor needs the query's routed shape even for a
+				// cache hit (it is real demand); the plan comes from the
+				// descriptor cache, so this stays cheap.
+				if plan, err := m.route(m.view.Load(), sql); err == nil {
+					m.observe(plan, &resp, m.view.Load().epoch, true)
+				}
+			}
 			return resp, nil
 		}
 		m.m.resultMisses.Inc()
@@ -422,10 +537,12 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		}
 		defer release()
 	}
-	plan, err := m.route(sql)
+	view, plan, next, err := m.planFor(sql)
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	view.inflight.Add(1)
+	defer view.inflight.Add(-1)
 	var total QueryResponse
 	total.SubQueries = len(plan.Ranges)
 	var budget *atomic.Int64
@@ -434,7 +551,7 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		budget.Store(int64(n))
 	}
 	for _, rp := range plan.Ranges {
-		failed, cause, err := m.scatterRange(ctx, rp.Range, rp.Parts, budget, allowPartial, &total)
+		failed, cause, err := m.scatterRange(ctx, view, rp.Range, rp.Parts, budget, allowPartial, &total)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				m.m.deadlines.Inc()
@@ -443,6 +560,12 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		}
 		if len(failed) > 0 {
 			if !allowPartial {
+				if cause == nil {
+					// No worker ever failed — the plan names partitions the
+					// placement does not hold (a stale plan racing a layout
+					// change). Silent empty success would be a wrong answer.
+					cause = fmt.Errorf("dist: partition(s) %v have no placed replica under epoch %d", failed, view.epoch)
+				}
 				return QueryResponse{}, cause
 			}
 			total.FailedPartitions = append(total.FailedPartitions, failed...)
@@ -456,9 +579,13 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		total.Partial = true
 		m.m.partials.Inc()
 	}
-	if m.resultCache != nil && !total.Partial {
+	if m.resultCache != nil && !total.Partial && !next && m.view.Load() == view {
+		// Next-view results and results that raced a cutover are not
+		// cached: their telemetry belongs to an epoch that is not (or no
+		// longer) the served one, and the cutover sweep has already run.
 		m.resultCache.Put(sql, total)
 	}
+	m.observe(plan, &total, view.epoch, false)
 	return total, nil
 }
 
@@ -466,10 +593,10 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 // untried replica whose breaker admits calls, else the first untried replica
 // at all (it will consume the breaker probe or fail fast), else -1 when the
 // replica set is exhausted.
-func (m *Master) pickWorker(id layout.ID, tried map[int]bool) int {
+func (m *Master) pickWorker(v *routeView, id layout.ID, tried map[int]bool) int {
 	now := time.Now()
 	first := -1
-	for _, w := range m.replicas[id] {
+	for _, w := range v.replicas[id] {
 		if tried[w] {
 			continue
 		}
@@ -490,7 +617,7 @@ func (m *Master) pickWorker(id layout.ID, tried map[int]bool) int {
 // abort (context done). In-flight sibling RPCs are cancelled as soon as the
 // range is known to fail, and the scatter always drains its goroutines
 // before returning.
-func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, budget *atomic.Int64, allowPartial bool, total *QueryResponse) (failed []layout.ID, cause, err error) {
+func (m *Master) scatterRange(ctx context.Context, v *routeView, q geom.Box, ids []layout.ID, budget *atomic.Int64, allowPartial bool, total *QueryResponse) (failed []layout.ID, cause, err error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	pending := ids
@@ -498,7 +625,7 @@ func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, 
 	for round := 0; len(pending) > 0; round++ {
 		byWorker := make(map[int][]layout.ID)
 		for _, id := range pending {
-			w := m.pickWorker(id, tried[id])
+			w := m.pickWorker(v, id, tried[id])
 			if w < 0 {
 				failed = append(failed, id)
 				continue
@@ -534,7 +661,7 @@ func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, 
 			go func(w int, bids []layout.ID) {
 				var r result
 				r.w, r.ids = w, bids
-				r.err = m.callWorker(sctx, w, ScanRequest{Query: q, IDs: bids}, &r.resp, budget)
+				r.err = m.callWorker(sctx, w, ScanRequest{Query: q, IDs: bids, Epoch: v.epoch}, &r.resp, budget)
 				results <- r
 			}(w, bids)
 		}
@@ -565,7 +692,7 @@ func (m *Master) scatterRange(ctx context.Context, q geom.Box, ids []layout.ID, 
 				}
 				tried[id][r.w] = true
 				next = append(next, id)
-				if m.pickWorker(id, tried[id]) >= 0 {
+				if m.pickWorker(v, id, tried[id]) >= 0 {
 					retryable = true
 				}
 			}

@@ -64,6 +64,25 @@ const (
 	// instead of running them: one per partition of an attached batch, one
 	// per attached single-partition scan.
 	MetricWorkerSharedScans = "worker_shared_scans_total"
+
+	// Migration counters (DESIGN.md §13): the drift re-partitioner's
+	// footprint on the distributed path. Masters count whole migrations and
+	// the per-partition install/reuse/byte volume; workers count the epoch
+	// installs/retires they executed. The cache sweep counters split the
+	// cutover's per-partition invalidation into entries rewritten in place
+	// (renamed partitions) vs dropped (rebuilt region).
+	MetricMigrations         = "dist_migrations_total"
+	MetricMigrationsAborted  = "dist_migrations_aborted_total"
+	MetricMigratedPartitions = "dist_migrated_partitions_total"
+	MetricReusedPartitions   = "dist_reused_partitions_total"
+	MetricMigratedBytes      = "dist_migrated_bytes_total"
+	MetricCacheRemapped      = "dist_cache_entries_remapped_total"
+	MetricCacheSwept         = "dist_cache_entries_swept_total"
+	MetricLayoutEpoch        = "dist_layout_epoch"
+
+	MetricWorkerInstalls       = "worker_partition_installs_total"
+	MetricWorkerInstalledBytes = "worker_installed_bytes_total"
+	MetricWorkerEpochRetires   = "worker_epoch_retires_total"
 )
 
 // FanoutBuckets are the histogram bounds for scatter width (workers hit per
@@ -98,6 +117,15 @@ type masterMetrics struct {
 	cacheInvalidations *obs.Counter
 	overloads          *obs.Counter
 	cleanExpiries      *obs.Counter
+
+	migrations         *obs.Counter
+	migrationsAborted  *obs.Counter
+	migratedPartitions *obs.Counter
+	reusedPartitions   *obs.Counter
+	migratedBytes      *obs.Counter
+	cacheRemapped      *obs.Counter
+	cacheSwept         *obs.Counter
+	layoutEpoch        *obs.Gauge
 }
 
 // SetMetrics attaches (or, with nil, detaches) master telemetry: query
@@ -133,6 +161,15 @@ func (m *Master) SetMetrics(reg *obs.Registry) {
 		cacheInvalidations: reg.Counter(MetricCacheInvalidations),
 		overloads:          reg.Counter(MetricQueriesShed),
 		cleanExpiries:      reg.Counter(MetricCleanExpiries),
+
+		migrations:         reg.Counter(MetricMigrations),
+		migrationsAborted:  reg.Counter(MetricMigrationsAborted),
+		migratedPartitions: reg.Counter(MetricMigratedPartitions),
+		reusedPartitions:   reg.Counter(MetricReusedPartitions),
+		migratedBytes:      reg.Counter(MetricMigratedBytes),
+		cacheRemapped:      reg.Counter(MetricCacheRemapped),
+		cacheSwept:         reg.Counter(MetricCacheSwept),
+		layoutEpoch:        reg.Gauge(MetricLayoutEpoch),
 	}
 	mm.workerCalls = make([]*obs.Timer, len(m.addrs))
 	for i := range mm.workerCalls {
@@ -166,6 +203,10 @@ type workerMetrics struct {
 	decodedHist   *obs.Histogram
 	skippedHist   *obs.Histogram
 	sharedScans   *obs.Counter
+
+	installs       *obs.Counter
+	installedBytes *obs.Counter
+	epochRetires   *obs.Counter
 }
 
 // SetMetrics attaches (or, with nil, detaches) worker telemetry: scan and
@@ -190,5 +231,9 @@ func (w *Worker) SetMetrics(reg *obs.Registry) {
 		decodedHist:   reg.Histogram(MetricWorkerScanBytesDecoded, obs.ByteBuckets()),
 		skippedHist:   reg.Histogram(MetricWorkerScanBytesSkipped, obs.ByteBuckets()),
 		sharedScans:   reg.Counter(MetricWorkerSharedScans),
+
+		installs:       reg.Counter(MetricWorkerInstalls),
+		installedBytes: reg.Counter(MetricWorkerInstalledBytes),
+		epochRetires:   reg.Counter(MetricWorkerEpochRetires),
 	}
 }

@@ -1,0 +1,360 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"paw/internal/layout"
+	"paw/internal/placement"
+	"paw/internal/router"
+	"paw/internal/serve"
+)
+
+// Partition migration (DESIGN.md §13): the drift re-partitioner hands the
+// master a Migration — the next layout's router and placement plus one
+// install step per partition — and ApplyMigration executes it without
+// stopping service. Install steps land one by one; the query path
+// double-routes the whole time (planFor) and serves a query from the next
+// epoch only once every partition its plan touches is installed. When all
+// steps have landed the master cuts over atomically, sweeps the plan/result
+// caches per partition (renamed entries are translated, entries touching the
+// rebuilt region are dropped), waits for in-flight old-epoch queries to
+// drain, and retires the old epoch on the workers. Any install failure
+// aborts: the next epoch is torn down best-effort and the old placement
+// keeps serving — a migration either cuts over completely or not at all.
+
+// MigrationEntry installs one partition of the next layout on its replica
+// set.
+type MigrationEntry struct {
+	// ID is the partition in the next layout's numbering.
+	ID layout.ID
+	// Workers is the replica set to install on (placement of the next
+	// layout; must match Replicas[ID]).
+	Workers []int
+	// ReuseID, when >= 0, aliases the current epoch's partition ReuseID:
+	// the partition survived the patch unchanged, so every worker that
+	// holds it just learns the new name — zero bytes move. When < 0 the
+	// Payload carries the encoded column-store table.
+	ReuseID layout.ID
+	// Payload is the colstore-encoded table for a rebuilt partition
+	// (ReuseID < 0).
+	Payload []byte
+	// Rows is the partition's row count, cross-checked on the worker.
+	Rows int64
+}
+
+// Migration is one epoch transition: the next layout (as a router), its
+// placement, and the per-partition install plan.
+type Migration struct {
+	// Epoch is the target layout epoch; must be exactly the served epoch+1.
+	Epoch uint64
+	// Router routes over the next layout.
+	Router *router.Master
+	// Replicas places every next-layout partition on the fixed worker
+	// fleet.
+	Replicas placement.Replicated
+	// Entries is the install plan, one entry per next-layout partition.
+	Entries []MigrationEntry
+	// Renamed maps current-epoch partition IDs to next-epoch IDs for the
+	// partitions that survived unchanged — the cutover cache sweep's
+	// translation table.
+	Renamed map[layout.ID]layout.ID
+}
+
+// activeMigration is the master's in-progress migration state: the next
+// routing view plus per-partition readiness, consulted by planFor on every
+// query while the migration runs.
+type activeMigration struct {
+	mig   *Migration
+	view  *routeView
+	ready map[layout.ID]*atomic.Bool
+}
+
+// planReady reports whether every partition the plan touches has been
+// installed on its replica set.
+func (am *activeMigration) planReady(plan router.Plan) bool {
+	for _, rp := range plan.Ranges {
+		if rp.Extra >= 0 {
+			return false
+		}
+		for _, id := range rp.Parts {
+			f := am.ready[id]
+			if f == nil || !f.Load() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// validate cross-checks the migration against the master's fleet and the
+// served epoch before any install goes out.
+func (m *Master) validateMigration(mig *Migration) error {
+	cur := m.view.Load()
+	if mig == nil || mig.Router == nil {
+		return errors.New("dist: nil migration")
+	}
+	if mig.Epoch != cur.epoch+1 {
+		return fmt.Errorf("dist: migration targets epoch %d, master serves %d", mig.Epoch, cur.epoch)
+	}
+	nl := mig.Router.Layout()
+	if err := mig.Replicas.Validate(nl, len(m.addrs)); err != nil {
+		return fmt.Errorf("dist: migration placement: %w", err)
+	}
+	seen := make(map[layout.ID]bool, len(mig.Entries))
+	for _, e := range mig.Entries {
+		if int(e.ID) < 0 || int(e.ID) >= len(nl.Parts) {
+			return fmt.Errorf("dist: migration entry for unknown partition %d", e.ID)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("dist: duplicate migration entry for partition %d", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Workers) == 0 {
+			return fmt.Errorf("dist: migration entry %d has no workers", e.ID)
+		}
+		for _, w := range e.Workers {
+			if w < 0 || w >= len(m.addrs) {
+				return fmt.Errorf("dist: migration entry %d names worker %d of %d", e.ID, w, len(m.addrs))
+			}
+		}
+		if e.ReuseID >= 0 && mig.Renamed[e.ReuseID] != e.ID {
+			return fmt.Errorf("dist: migration entry %d reuses %d but Renamed maps it to %d", e.ID, e.ReuseID, mig.Renamed[e.ReuseID])
+		}
+	}
+	for _, p := range nl.Parts {
+		if !seen[p.ID] {
+			return fmt.Errorf("dist: migration has no entry for partition %d", p.ID)
+		}
+	}
+	return nil
+}
+
+// drainTimeout bounds the post-cutover wait for in-flight old-epoch queries
+// before the old epoch is retired on the workers. Queries still running
+// after it would fail with an unknown-epoch error and retry-route against
+// the new layout; the bound only exists so a wedged query cannot pin an
+// epoch forever.
+const drainTimeout = 30 * time.Second
+
+// ApplyMigration executes one epoch transition (see the package comment
+// above for the protocol). Only one migration may run at a time; the master
+// keeps serving throughout. On error the old placement is untouched and
+// still serving — there is no partial cutover.
+func (m *Master) ApplyMigration(ctx context.Context, mig *Migration) error {
+	if err := m.validateMigration(mig); err != nil {
+		return err
+	}
+	cur := m.view.Load()
+	am := &activeMigration{
+		mig: mig,
+		view: &routeView{
+			router:   mig.Router,
+			replicas: mig.Replicas,
+			epoch:    mig.Epoch,
+		},
+		ready: make(map[layout.ID]*atomic.Bool, len(mig.Entries)),
+	}
+	for _, e := range mig.Entries {
+		am.ready[e.ID] = new(atomic.Bool)
+	}
+	if !m.mig.CompareAndSwap(nil, am) {
+		return errors.New("dist: a migration is already in progress")
+	}
+
+	// Install deterministically in ID order: renamed partitions become
+	// servable first at near-zero cost, so double-routing starts paying off
+	// while the rebuilt region's payloads are still shipping.
+	entries := append([]MigrationEntry(nil), mig.Entries...)
+	sort.Slice(entries, func(i, j int) bool {
+		if (entries[i].ReuseID >= 0) != (entries[j].ReuseID >= 0) {
+			return entries[i].ReuseID >= 0
+		}
+		return entries[i].ID < entries[j].ID
+	})
+	for i := range entries {
+		e := &entries[i]
+		req := AdminRequest{
+			Op:         AdminInstall,
+			Epoch:      mig.Epoch,
+			ID:         e.ID,
+			ReuseEpoch: cur.epoch,
+			ReuseID:    e.ReuseID,
+			Rows:       e.Rows,
+		}
+		if e.ReuseID < 0 {
+			req.Payload = e.Payload
+			m.m.migratedPartitions.Inc()
+			m.m.migratedBytes.Add(int64(len(e.Payload)))
+		} else {
+			m.m.reusedPartitions.Inc()
+		}
+		for _, w := range e.Workers {
+			if err := m.adminCall(ctx, w, req); err != nil {
+				m.abortMigration(am)
+				return fmt.Errorf("dist: installing partition %d (epoch %d) on worker %d: %w", e.ID, mig.Epoch, w, err)
+			}
+		}
+		am.ready[e.ID].Store(true)
+	}
+
+	// Cutover: swap the served view, then translate the caches. The order
+	// matters — a query that routed against the old view concurrently with
+	// the swap may still Put into the caches, which is why the serving path
+	// re-checks the current view before caching.
+	m.view.Store(am.view)
+	m.mig.Store(nil)
+	m.sweepCaches(mig)
+	m.m.migrations.Inc()
+	m.m.layoutEpoch.Set(int64(mig.Epoch))
+
+	// Retire the old epoch once no in-flight query can still reference it.
+	// Best-effort: a worker that is down redials on the next admin call or
+	// drops the stale view when it restarts.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	for cur.inflight.Load() > 0 && drainCtx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	m.retireEpoch(cur.epoch)
+	return nil
+}
+
+// abortMigration tears down a failed migration: double-routing stops, the
+// old placement keeps serving, and the half-installed next epoch is retired
+// best-effort so workers do not leak tables.
+func (m *Master) abortMigration(am *activeMigration) {
+	m.mig.Store(nil)
+	m.m.migrationsAborted.Inc()
+	m.retireEpoch(am.view.epoch)
+	slog.Warn("migration aborted, old placement keeps serving",
+		"epoch", am.view.epoch)
+}
+
+// retireEpoch asks every worker to drop a layout epoch, best-effort.
+func (m *Master) retireEpoch(epoch uint64) {
+	for w := range m.addrs {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := m.adminCall(ctx, w, AdminRequest{Op: AdminRetire, Epoch: epoch})
+		cancel()
+		if err != nil {
+			slog.Debug("epoch retire failed", "worker", w, "epoch", epoch, "err", err)
+		}
+	}
+}
+
+// adminCall performs one admin RPC against worker w with bounded retries
+// under the configured backoff. It deliberately bypasses the breakers — a
+// migration install is not query serving, and its failure handling is
+// "abort the migration", not "fail over".
+func (m *Master) adminCall(ctx context.Context, w int, req AdminRequest) error {
+	req.Seq = m.seq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.Retry.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cctx := ctx
+		cancel := func() {}
+		if m.cfg.CallTimeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, m.cfg.CallTimeout)
+		}
+		var resp AdminResponse
+		l, err := m.workerLink(cctx, w)
+		if err == nil {
+			err = l.admin(cctx, &req, &resp)
+		}
+		cancel()
+		if err == nil && resp.Err != "" {
+			// The worker executed and refused (bad payload, unknown alias):
+			// retrying cannot help.
+			return errors.New(resp.Err)
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !serve.IsNotSent(err) {
+			m.dropWorkerLink(w)
+			m.m.redials.Inc()
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+		if serr := sleepCtx(ctx, m.jit.backoff(m.cfg.Retry, attempt)); serr != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// sweepCaches runs the per-partition cache invalidation at cutover. Plan
+// entries whose partitions all survived the patch are translated through the
+// rename map in place (the mapping is strictly increasing, so sorted
+// partition lists stay sorted); entries touching the rebuilt region — or
+// carrying tuner extras, which are layout-scoped — are dropped. A result
+// entry survives iff its plan entry did: renamed partitions hold identical
+// rows and bytes, so the cached response is still exact.
+func (m *Master) sweepCaches(mig *Migration) {
+	if m.planCache == nil {
+		if m.resultCache != nil {
+			m.resultCache.Invalidate()
+			m.m.cacheInvalidations.Inc()
+		}
+		return
+	}
+	kept := make(map[string]bool)
+	m.planCache.Sweep(func(sql string, e cachedPlan) (cachedPlan, bool) {
+		if e.epoch+1 != mig.Epoch {
+			// Routed under some other epoch (a racing query already dropped
+			// or refreshed it); the rename map does not apply.
+			m.m.cacheSwept.Inc()
+			return e, false
+		}
+		translated, ok := translatePlan(e.plan, mig.Renamed)
+		if !ok {
+			m.m.cacheSwept.Inc()
+			return e, false
+		}
+		m.m.cacheRemapped.Inc()
+		kept[sql] = true
+		return cachedPlan{plan: translated, epoch: mig.Epoch}, true
+	})
+	if m.resultCache != nil {
+		m.resultCache.Sweep(func(sql string, resp QueryResponse) (QueryResponse, bool) {
+			if kept[sql] {
+				return resp, true
+			}
+			m.m.cacheSwept.Inc()
+			return resp, false
+		})
+	}
+}
+
+// translatePlan rewrites a routed plan's partition IDs into the next
+// layout's numbering. It fails (ok=false) when any range touches a partition
+// that did not survive the patch, or is served by a tuner extra (extras are
+// rebuilt per layout).
+func translatePlan(plan router.Plan, renamed map[layout.ID]layout.ID) (router.Plan, bool) {
+	out := router.Plan{Ranges: make([]router.RangePlan, len(plan.Ranges))}
+	for i, rp := range plan.Ranges {
+		if rp.Extra >= 0 {
+			return router.Plan{}, false
+		}
+		nr := router.RangePlan{Range: rp.Range, Extra: rp.Extra, Parts: make([]layout.ID, len(rp.Parts))}
+		for j, id := range rp.Parts {
+			nid, ok := renamed[id]
+			if !ok {
+				return router.Plan{}, false
+			}
+			nr.Parts[j] = nid
+		}
+		out.Ranges[i] = nr
+	}
+	return out, true
+}

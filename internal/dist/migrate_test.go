@@ -1,0 +1,521 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	"paw/internal/blockstore"
+	"paw/internal/colstore"
+	"paw/internal/dataset"
+	"paw/internal/faultnet"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/obs"
+	"paw/internal/placement"
+	"paw/internal/router"
+)
+
+// Migration unit tests: a hand-assembled quadrant layout whose right half is
+// patched from a vertical to a horizontal split, so the diff (2 renamed, 2
+// removed, 2 added) and every payload are fully controlled. The chaos
+// migration scenarios at the bottom reuse the same fixture behind faultnet
+// scripts.
+
+// migClusterFixture is a live cluster plus a ready-to-apply migration.
+type migClusterFixture struct {
+	data    *dataset.Dataset
+	old     *layout.Layout
+	next    *layout.Layout
+	diff    layout.Diff
+	mig     *Migration
+	rep     placement.Replicated
+	workers []*Worker
+	master  *Master
+	reg     *obs.Registry
+}
+
+func migLeaf(b geom.Box, rows int64) *layout.Node {
+	return &layout.Node{
+		Desc: layout.NewRect(b),
+		Part: &layout.Partition{Desc: layout.NewRect(b), FullRows: rows},
+	}
+}
+
+// buildMigFixture starts nWorkers workers (each optionally behind a faultnet
+// script) and a master serving the quadrant layout, and constructs the patch
+// migration without applying it.
+func buildMigFixture(t *testing.T, nWorkers int, scripts map[int]faultnet.Script, cfg Config) *migClusterFixture {
+	t.Helper()
+	data := dataset.Uniform(6000, 2, 19)
+	dom := data.Domain()
+	midX := (dom.Lo[0] + dom.Hi[0]) / 2
+	midY := (dom.Lo[1] + dom.Hi[1]) / 2
+	midRX := (midX + dom.Hi[0]) / 2
+	box := func(lo0, lo1, hi0, hi1 float64) geom.Box {
+		return geom.Box{Lo: geom.Point{lo0, lo1}, Hi: geom.Point{hi0, hi1}}
+	}
+
+	left := &layout.Node{Desc: layout.NewRect(box(dom.Lo[0], dom.Lo[1], midX, dom.Hi[1])), Children: []*layout.Node{
+		migLeaf(box(dom.Lo[0], dom.Lo[1], midX, midY), 0),
+		migLeaf(box(dom.Lo[0], midY, midX, dom.Hi[1]), 0),
+	}}
+	right := &layout.Node{Desc: layout.NewRect(box(midX, dom.Lo[1], dom.Hi[0], dom.Hi[1])), Children: []*layout.Node{
+		migLeaf(box(midX, dom.Lo[1], midRX, dom.Hi[1]), 0),
+		migLeaf(box(midRX, dom.Lo[1], dom.Hi[0], dom.Hi[1]), 0),
+	}}
+	root := &layout.Node{Desc: layout.NewRect(dom), Children: []*layout.Node{left, right}}
+	old := layout.Seal("manual", root, data.RowBytes())
+	old.Route(data)
+	if old.Unrouted != 0 {
+		t.Fatalf("%d rows unrouted", old.Unrouted)
+	}
+	store := blockstore.Materialize(old, data, blockstore.Config{GroupRows: 256})
+
+	// Replacement: right half split horizontally. Row lists follow the same
+	// first-containing-child order the router uses, so counts line up
+	// exactly.
+	rbBox := box(midX, dom.Lo[1], dom.Hi[0], midY)
+	rtBox := box(midX, midY, dom.Hi[0], dom.Hi[1])
+	var rbRows, rtRows []int
+	for i := 0; i < data.NumRows(); i++ {
+		p := data.Point(i)
+		switch {
+		case rbBox.Contains(p):
+			rbRows = append(rbRows, i)
+		case rtBox.Contains(p):
+			rtRows = append(rtRows, i)
+		}
+	}
+	repl := &layout.Node{Desc: layout.NewRect(box(midX, dom.Lo[1], dom.Hi[0], dom.Hi[1])), Children: []*layout.Node{
+		migLeaf(rbBox, int64(len(rbRows))),
+		migLeaf(rtBox, int64(len(rtRows))),
+	}}
+	next, diff, err := layout.PatchSubtree(old, right, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsFor := map[layout.ID][]int{diff.Added[0]: rbRows, diff.Added[1]: rtRows}
+
+	// Cluster: every old partition on worker id%n.
+	rep := make(placement.Replicated, len(old.Parts))
+	for _, p := range old.Parts {
+		rep[p.ID] = []int{int(p.ID) % nWorkers}
+	}
+	tc := &migClusterFixture{data: data, old: old, next: next, diff: diff, rep: rep}
+	hosted := perWorkerIDs(rep, nWorkers)
+	addrs := make([]string, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		wk := NewWorker(store, hosted[w])
+		inner, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ln net.Listener = inner
+		if s, ok := scripts[w]; ok {
+			ln = faultnet.Wrap(inner, s)
+		}
+		if err := wk.Serve(ln); err != nil {
+			t.Fatal(err)
+		}
+		addrs[w] = inner.Addr().String()
+		tc.workers = append(tc.workers, wk)
+	}
+	rm, err := router.NewMaster(old, data.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMasterReplicated(rm, addrs, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Configure(cfg)
+	tc.reg = obs.New()
+	m.SetMetrics(tc.reg)
+	tc.master = m
+	t.Cleanup(func() {
+		m.Close()
+		for _, wk := range tc.workers {
+			wk.Close()
+		}
+	})
+
+	// The migration: aliases for the surviving left half, payloads for the
+	// rebuilt right half.
+	nextRouter, err := router.NewMaster(next, data.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextRep := make(placement.Replicated, len(next.Parts))
+	var entries []MigrationEntry
+	for oldID, newID := range diff.Renamed {
+		nextRep[newID] = rep[oldID]
+		entries = append(entries, MigrationEntry{
+			ID:      newID,
+			Workers: rep[oldID],
+			ReuseID: oldID,
+			Rows:    next.Parts[newID].FullRows,
+		})
+	}
+	for _, id := range diff.Added {
+		var buf bytes.Buffer
+		if err := colstore.FromDataset(data, rowsFor[id], 256).Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		ws := []int{int(id) % nWorkers}
+		nextRep[id] = ws
+		entries = append(entries, MigrationEntry{
+			ID:      id,
+			Workers: ws,
+			ReuseID: -1,
+			Payload: buf.Bytes(),
+			Rows:    int64(len(rowsFor[id])),
+		})
+	}
+	tc.mig = &Migration{
+		Epoch:    1,
+		Router:   nextRouter,
+		Replicas: nextRep,
+		Entries:  entries,
+		Renamed:  diff.Renamed,
+	}
+	return tc
+}
+
+// migSQL renders a range query over the fixture's two columns.
+func migSQL(names []string, b geom.Box) string {
+	return fmt.Sprintf("SELECT * FROM t WHERE %s >= %v AND %s <= %v AND %s >= %v AND %s <= %v",
+		names[0], b.Lo[0], names[0], b.Hi[0], names[1], b.Lo[1], names[1], b.Hi[1])
+}
+
+// checkQueries runs one query per quadrant-ish region and asserts exact row
+// counts against the dataset.
+func (tc *migClusterFixture) checkQueries(t *testing.T) {
+	t.Helper()
+	dom := tc.data.Domain()
+	names := tc.data.Names()
+	w0, h0 := dom.Hi[0]-dom.Lo[0], dom.Hi[1]-dom.Lo[1]
+	probes := []geom.Box{
+		{Lo: geom.Point{dom.Lo[0], dom.Lo[1]}, Hi: geom.Point{dom.Lo[0] + 0.3*w0, dom.Lo[1] + 0.7*h0}},
+		{Lo: geom.Point{dom.Lo[0] + 0.6*w0, dom.Lo[1] + 0.1*h0}, Hi: geom.Point{dom.Lo[0] + 0.9*w0, dom.Lo[1] + 0.4*h0}},
+		{Lo: geom.Point{dom.Lo[0] + 0.4*w0, dom.Lo[1] + 0.4*h0}, Hi: geom.Point{dom.Lo[0] + 0.8*w0, dom.Lo[1] + 0.9*h0}},
+	}
+	for _, b := range probes {
+		sql := migSQL(names, b)
+		resp, err := tc.master.Query(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if want := tc.data.CountInBox(b, nil); resp.Rows != want {
+			t.Fatalf("%q: %d rows, want %d", sql, resp.Rows, want)
+		}
+	}
+}
+
+func fastMigConfig() Config {
+	cfg := fastChaosConfig(7)
+	cfg.PlanCacheSize = 64
+	cfg.ResultCacheSize = 64
+	return cfg
+}
+
+func TestMigrationAppliesAliasesAndPayloads(t *testing.T) {
+	tc := buildMigFixture(t, 3, nil, fastMigConfig())
+	tc.checkQueries(t)
+	if err := tc.master.ApplyMigration(context.Background(), tc.mig); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got := tc.master.Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	tc.checkQueries(t)
+
+	snap := tc.reg.Snapshot()
+	if got := snap.Counter(MetricMigrations); got != 1 {
+		t.Errorf("migrations = %d, want 1", got)
+	}
+	if got := snap.Counter(MetricReusedPartitions); got != int64(len(tc.diff.Renamed)) {
+		t.Errorf("reused partitions = %d, want %d", got, len(tc.diff.Renamed))
+	}
+	if got := snap.Counter(MetricMigratedPartitions); got != int64(len(tc.diff.Added)) {
+		t.Errorf("migrated partitions = %d, want %d", got, len(tc.diff.Added))
+	}
+	if got := snap.Counter(MetricMigratedBytes); got <= 0 {
+		t.Error("migration must account shipped bytes")
+	}
+	// The old epoch is retired: every worker serves only epoch 1.
+	for w, wk := range tc.workers {
+		for _, e := range wk.Epochs() {
+			if e != 1 {
+				t.Errorf("worker %d still holds epoch %d", w, e)
+			}
+		}
+	}
+}
+
+func TestMigrationValidationRejects(t *testing.T) {
+	tc := buildMigFixture(t, 2, nil, fastMigConfig())
+	base := tc.mig
+
+	cases := []struct {
+		name   string
+		mutate func(m *Migration)
+	}{
+		{"wrong-epoch", func(m *Migration) { m.Epoch = 2 }},
+		{"nil-router", func(m *Migration) { m.Router = nil }},
+		{"duplicate-entry", func(m *Migration) { m.Entries = append(m.Entries, m.Entries[0]) }},
+		{"missing-entry", func(m *Migration) { m.Entries = m.Entries[1:] }},
+		{"unknown-partition", func(m *Migration) {
+			m.Entries = append([]MigrationEntry(nil), m.Entries...)
+			m.Entries[0].ID = layout.ID(len(tc.next.Parts))
+			// Keep the accounting otherwise plausible: drop the collision.
+		}},
+		{"no-workers", func(m *Migration) {
+			m.Entries = append([]MigrationEntry(nil), m.Entries...)
+			m.Entries[0].Workers = nil
+		}},
+		{"worker-out-of-range", func(m *Migration) {
+			m.Entries = append([]MigrationEntry(nil), m.Entries...)
+			m.Entries[0].Workers = []int{99}
+		}},
+		{"alias-disagrees-with-renamed", func(m *Migration) {
+			m.Entries = append([]MigrationEntry(nil), m.Entries...)
+			for i := range m.Entries {
+				if m.Entries[i].ReuseID >= 0 {
+					m.Entries[i].ReuseID++
+					return
+				}
+			}
+			t.Fatal("no alias entry in fixture")
+		}},
+		{"bad-placement", func(m *Migration) { m.Replicas = placement.Replicated{} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := *base
+			m.Entries = base.Entries
+			m.Replicas = base.Replicas
+			c.mutate(&m)
+			if err := tc.master.ApplyMigration(context.Background(), &m); err == nil {
+				t.Fatal("invalid migration must be rejected")
+			}
+			if got := tc.master.Epoch(); got != 0 {
+				t.Fatalf("rejected migration moved the epoch to %d", got)
+			}
+		})
+	}
+	// The untouched plan still applies after all those rejections.
+	if err := tc.master.ApplyMigration(context.Background(), base); err != nil {
+		t.Fatalf("valid migration after rejections: %v", err)
+	}
+	tc.checkQueries(t)
+}
+
+func TestMigrationSweepsCachesPerPartition(t *testing.T) {
+	tc := buildMigFixture(t, 2, nil, fastMigConfig())
+	dom := tc.data.Domain()
+	names := tc.data.Names()
+	w0, h0 := dom.Hi[0]-dom.Lo[0], dom.Hi[1]-dom.Lo[1]
+	// leftSQL touches only surviving partitions; rightSQL the rebuilt region.
+	leftB := geom.Box{Lo: geom.Point{dom.Lo[0], dom.Lo[1]}, Hi: geom.Point{dom.Lo[0] + 0.2*w0, dom.Lo[1] + 0.8*h0}}
+	rightB := geom.Box{Lo: geom.Point{dom.Lo[0] + 0.7*w0, dom.Lo[1] + 0.1*h0}, Hi: geom.Point{dom.Lo[0] + 0.95*w0, dom.Lo[1] + 0.9*h0}}
+	leftSQL, rightSQL := migSQL(names, leftB), migSQL(names, rightB)
+
+	for _, sql := range []string{leftSQL, rightSQL} {
+		if _, err := tc.master.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tc.master.ApplyMigration(context.Background(), tc.mig); err != nil {
+		t.Fatal(err)
+	}
+	snap := tc.reg.Snapshot()
+	if got := snap.Counter(MetricCacheRemapped); got < 1 {
+		t.Errorf("cache entries remapped = %d, want >= 1 (left query survives)", got)
+	}
+	if got := snap.Counter(MetricCacheSwept); got < 1 {
+		t.Errorf("cache entries swept = %d, want >= 1 (right query dropped)", got)
+	}
+
+	// The remapped plan must serve a result-cache hit with exact rows; the
+	// rebuilt region re-routes and stays exact.
+	before := snap.Counter(MetricResultCacheHits)
+	for _, sql := range []string{leftSQL, rightSQL} {
+		resp, err := tc.master.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := leftB
+		if sql == rightSQL {
+			b = rightB
+		}
+		if want := tc.data.CountInBox(b, nil); resp.Rows != want {
+			t.Fatalf("%q after cutover: %d rows, want %d", sql, resp.Rows, want)
+		}
+	}
+	if got := tc.reg.Snapshot().Counter(MetricResultCacheHits); got != before+1 {
+		t.Errorf("result cache hits after cutover = %d, want %d (translated entry only)", got, before+1)
+	}
+}
+
+func TestMigrationAbortsOnWorkerRefusal(t *testing.T) {
+	tc := buildMigFixture(t, 2, nil, fastMigConfig())
+	// Corrupt one payload's row claim: the worker decodes, refuses, and the
+	// refusal is not retried.
+	bad := *tc.mig
+	bad.Entries = append([]MigrationEntry(nil), tc.mig.Entries...)
+	for i := range bad.Entries {
+		if bad.Entries[i].ReuseID < 0 {
+			bad.Entries[i].Rows++
+			break
+		}
+	}
+	if err := tc.master.ApplyMigration(context.Background(), &bad); err == nil {
+		t.Fatal("migration with a lying payload must abort")
+	}
+	if got := tc.master.Epoch(); got != 0 {
+		t.Fatalf("aborted migration moved the epoch to %d", got)
+	}
+	if got := tc.reg.Snapshot().Counter(MetricMigrationsAborted); got != 1 {
+		t.Errorf("aborted migrations = %d, want 1", got)
+	}
+	// No partial cutover: no worker retains any trace of epoch 1.
+	for w, wk := range tc.workers {
+		for _, e := range wk.Epochs() {
+			if e == 1 {
+				t.Errorf("worker %d leaked the aborted epoch", w)
+			}
+		}
+	}
+	tc.checkQueries(t)
+
+	// The fixed plan still applies afterwards.
+	if err := tc.master.ApplyMigration(context.Background(), tc.mig); err != nil {
+		t.Fatalf("apply after abort: %v", err)
+	}
+	tc.checkQueries(t)
+}
+
+func TestMigrationRejectsConcurrentMigration(t *testing.T) {
+	tc := buildMigFixture(t, 2, nil, fastMigConfig())
+	tc.master.mig.Store(&activeMigration{view: &routeView{epoch: 1}})
+	if err := tc.master.ApplyMigration(context.Background(), tc.mig); err == nil {
+		t.Fatal("second concurrent migration must be rejected")
+	}
+	tc.master.mig.Store(nil)
+	if err := tc.master.ApplyMigration(context.Background(), tc.mig); err != nil {
+		t.Fatalf("apply after the stale migration cleared: %v", err)
+	}
+}
+
+// TestChaosMigrationWorkerDown: a worker that must receive a payload dies
+// before the install. The migration aborts after bounded retries, the old
+// placement keeps serving exactly, and no worker holds a partial next epoch.
+func TestChaosMigrationWorkerDown(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tc := buildMigFixture(t, 2, nil, fastChaosConfig(seed))
+			// Kill the worker hosting the first payload partition.
+			var victim int
+			for _, e := range tc.mig.Entries {
+				if e.ReuseID < 0 {
+					victim = e.Workers[0]
+					break
+				}
+			}
+			tc.workers[victim].Close()
+			if err := tc.master.ApplyMigration(context.Background(), tc.mig); err == nil {
+				t.Fatal("migration must abort when an install target is down")
+			}
+			if got := tc.master.Epoch(); got != 0 {
+				t.Fatalf("epoch = %d after abort, want 0", got)
+			}
+			if got := tc.reg.Snapshot().Counter(MetricMigrationsAborted); got != 1 {
+				t.Errorf("aborted migrations = %d, want 1", got)
+			}
+			for w, wk := range tc.workers {
+				if w == victim {
+					continue
+				}
+				for _, e := range wk.Epochs() {
+					if e == 1 {
+						t.Errorf("worker %d holds the aborted epoch", w)
+					}
+				}
+			}
+			// The surviving worker keeps serving its share of the old
+			// placement: a query strictly inside one of its partitions (so no
+			// shared boundary routes to the dead worker) stays exact.
+			names := tc.data.Names()
+			for _, p := range tc.old.Parts {
+				if tc.rep[p.ID][0] == victim {
+					continue
+				}
+				m := p.Desc.MBR()
+				b := geom.Box{Lo: geom.Point{}, Hi: geom.Point{}}
+				for d := 0; d < m.Dims(); d++ {
+					eps := (m.Hi[d] - m.Lo[d]) / 100
+					b.Lo = append(b.Lo, m.Lo[d]+eps)
+					b.Hi = append(b.Hi, m.Hi[d]-eps)
+				}
+				sql := migSQL(names, b)
+				resp, err := tc.master.Query(sql)
+				if err != nil {
+					t.Fatalf("query on surviving worker: %v", err)
+				}
+				if want := tc.data.CountInBox(b, nil); resp.Rows != want {
+					t.Fatalf("partition %d query: %d rows, want %d", p.ID, resp.Rows, want)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMigrationCorruptedStream: the install stream to one worker is
+// corrupted by faultnet on the first connection. Depending on where the
+// corruption lands the admin call either recovers on retry (migration
+// completes) or exhausts its attempts (migration aborts) — both outcomes
+// must leave the cluster consistent: served queries stay exact and the
+// epoch is either fully cut over or fully rolled back.
+func TestChaosMigrationCorruptedStream(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// With 2 workers both rebuilt partitions ship payloads, one per
+			// worker — corrupting worker 0's stream always hits an install.
+			tc := buildMigFixture(t, 2, map[int]faultnet.Script{
+				0: {Seed: seed, Rules: []faultnet.Rule{
+					{Conn: 0, Op: faultnet.OnWrite, Call: 0, Action: faultnet.Corrupt, Bytes: 4},
+				}},
+			}, fastChaosConfig(seed))
+			err := tc.master.ApplyMigration(context.Background(), tc.mig)
+			snap := tc.reg.Snapshot()
+			if err != nil {
+				// Aborted: full rollback, old epoch serving.
+				if got := tc.master.Epoch(); got != 0 {
+					t.Fatalf("epoch = %d after abort, want 0", got)
+				}
+				if got := snap.Counter(MetricMigrationsAborted); got != 1 {
+					t.Errorf("aborted migrations = %d, want 1", got)
+				}
+				for w, wk := range tc.workers {
+					for _, e := range wk.Epochs() {
+						if e == 1 {
+							t.Errorf("worker %d holds the aborted epoch", w)
+						}
+					}
+				}
+			} else {
+				// Recovered: full cutover.
+				if got := tc.master.Epoch(); got != 1 {
+					t.Fatalf("epoch = %d after recovery, want 1", got)
+				}
+				if got := snap.Counter(MetricMigrations); got != 1 {
+					t.Errorf("migrations = %d, want 1", got)
+				}
+			}
+			tc.checkQueries(t)
+		})
+	}
+}

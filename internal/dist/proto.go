@@ -43,6 +43,52 @@ type ScanRequest struct {
 	// A worker drops partitions it cannot start before the deadline instead
 	// of doing work the master has already given up on.
 	Deadline int64
+	// Epoch selects the layout version the IDs are meant under (DESIGN.md
+	// §13). 0 is the initial epoch (the worker's materialised store), so
+	// pre-epoch masters stay wire-compatible; during a migration the master
+	// double-routes and a late scan under the previous epoch still resolves
+	// against the old partition set.
+	Epoch uint64
+}
+
+// Admin operations carried by AdminRequest (binary transport only).
+const (
+	// AdminInstall publishes one partition into a layout epoch on the
+	// worker, either by aliasing a partition it already holds (ReuseID >= 0)
+	// or from an encoded column-store payload.
+	AdminInstall = 1
+	// AdminRetire drops a whole layout epoch and the partitions only it
+	// references.
+	AdminRetire = 2
+)
+
+// AdminRequest is the master-to-worker migration control message: install a
+// partition into a layout epoch, or retire an epoch. Admin frames ride the
+// multiplexed binary transport only — the legacy gob worker loop decodes a
+// homogeneous ScanRequest stream and cannot carry them, which is why
+// migrations require TransportBinary (the gob path stays the query-time
+// differential oracle).
+type AdminRequest struct {
+	Op    int
+	Epoch uint64
+	// ID is the partition being installed (AdminInstall only).
+	ID layout.ID
+	// ReuseEpoch/ReuseID alias an already-installed partition: the new
+	// (Epoch, ID) serves the same physical table as (ReuseEpoch, ReuseID).
+	// ReuseID < 0 means Payload carries the data instead.
+	ReuseEpoch uint64
+	ReuseID    layout.ID
+	// Payload is the colstore-encoded table for a new partition.
+	Payload []byte
+	// Rows is the expected row count, cross-checked after decode.
+	Rows int64
+	// Seq is the master-assigned request ID, echoed in logs/errors.
+	Seq uint64
+}
+
+// AdminResponse reports the admin outcome ("" = success).
+type AdminResponse struct {
+	Err string
 }
 
 // ScanResponse reports the scan outcome. On a per-partition failure the

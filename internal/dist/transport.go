@@ -43,6 +43,9 @@ type workerLink interface {
 	// and remains healthy; any other failure means the caller should drop
 	// the link and redial.
 	scan(ctx context.Context, req *ScanRequest, resp *ScanResponse) error
+	// admin performs one migration-control round trip (same error contract
+	// as scan). Only the binary transport carries admin frames.
+	admin(ctx context.Context, req *AdminRequest, resp *AdminResponse) error
 	close()
 }
 
@@ -51,6 +54,13 @@ type gobLink struct{ c *conn }
 
 func (l *gobLink) scan(ctx context.Context, req *ScanRequest, resp *ScanResponse) error {
 	return l.c.call(ctx, req, resp)
+}
+
+// admin fails: the gob worker loop decodes a homogeneous ScanRequest stream,
+// so migration control cannot ride it. Migrations require TransportBinary;
+// the gob path remains the query-time differential oracle.
+func (l *gobLink) admin(context.Context, *AdminRequest, *AdminResponse) error {
+	return errors.New("dist: partition migration requires the binary transport (gob is the query-path oracle only)")
 }
 
 func (l *gobLink) close() { l.c.Close() }
@@ -92,6 +102,16 @@ func (l *muxLink) scan(ctx context.Context, req *ScanRequest, resp *ScanResponse
 	return mx.Call(ctx, msgScanReq, req, func(typ byte, payload []byte) error {
 		if typ != msgScanResp {
 			return fmt.Errorf("dist: unexpected frame type %d for scan response", typ)
+		}
+		return resp.UnmarshalWire(payload)
+	})
+}
+
+func (l *muxLink) admin(ctx context.Context, req *AdminRequest, resp *AdminResponse) error {
+	mx := l.muxes[int(l.next.Add(1)-1)%len(l.muxes)]
+	return mx.Call(ctx, msgAdminReq, req, func(typ byte, payload []byte) error {
+		if typ != msgAdminResp {
+			return fmt.Errorf("dist: unexpected frame type %d for admin response", typ)
 		}
 		return resp.UnmarshalWire(payload)
 	})

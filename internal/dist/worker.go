@@ -11,6 +11,7 @@ import (
 	"math"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,8 +57,18 @@ type Worker struct {
 	// scanHook, when set, observes every kernel scan actually executed (not
 	// the shared attachments). Test-only.
 	scanHook func(layout.ID)
+	// tabScanners recycles scanner state for epoch-view tables (the store
+	// has its own pool for the base epoch's partitions).
+	tabScanners colstore.ScannerPool
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// views maps layout epochs to the partitions servable under them
+	// (DESIGN.md §13). Epoch 0 is the materialised store the worker started
+	// with; migrations install later epochs partition by partition — as
+	// aliases of tables the worker already holds (renamed partitions move
+	// zero bytes) or from shipped payloads — and the master retires an epoch
+	// once no in-flight query can still reference it.
+	views    map[uint64]*epochView
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
@@ -80,7 +91,114 @@ func NewWorker(store *blockstore.Store, assigned []layout.ID) *Worker {
 		assigned: m,
 		scanPool: parbuild.New(0),
 		conns:    make(map[net.Conn]bool),
+		views:    map[uint64]*epochView{0: {base: true}},
 	}
+}
+
+// epochView is one layout epoch's servable partition set. The base view
+// (epoch 0) answers from the worker's materialised store and assignment set;
+// installed views answer from their table map, whose entries either alias
+// tables of earlier epochs (renamed partitions) or were decoded from
+// migration payloads (rebuilt partitions).
+type epochView struct {
+	base   bool
+	tables map[layout.ID]*colstore.Table
+}
+
+// lookup resolves (epoch, id) to the table to scan. useStore reports that
+// the base store should scan the partition instead (its scanner pool and
+// block accounting are partition-aware).
+func (w *Worker) lookup(epoch uint64, id layout.ID) (tab *colstore.Table, useStore bool, err error) {
+	w.mu.Lock()
+	v := w.views[epoch]
+	if v != nil && !v.base {
+		tab = v.tables[id]
+	}
+	w.mu.Unlock()
+	switch {
+	case v == nil:
+		return nil, false, fmt.Errorf("worker has no layout epoch %d", epoch)
+	case v.base:
+		if !w.assigned[id] {
+			return nil, false, fmt.Errorf("worker does not host partition %d", id)
+		}
+		return nil, true, nil
+	case tab == nil:
+		return nil, false, fmt.Errorf("worker does not host partition %d in epoch %d", id, epoch)
+	default:
+		return tab, false, nil
+	}
+}
+
+// handleAdmin executes one migration-control request under the worker mutex
+// (payload decoding happens outside it: decodes are the expensive part and
+// touch no shared state).
+func (w *Worker) handleAdmin(req AdminRequest) AdminResponse {
+	switch req.Op {
+	case AdminRetire:
+		w.mu.Lock()
+		delete(w.views, req.Epoch)
+		w.mu.Unlock()
+		w.m.epochRetires.Inc()
+		return AdminResponse{}
+	case AdminInstall:
+		var tab *colstore.Table
+		if req.ReuseID < 0 {
+			t, err := colstore.Decode(bytes.NewReader(req.Payload))
+			if err != nil {
+				return AdminResponse{Err: fmt.Sprintf("decoding partition %d payload (req %d): %v", req.ID, req.Seq, err)}
+			}
+			if int64(t.NumRows()) != req.Rows {
+				return AdminResponse{Err: fmt.Sprintf("partition %d payload has %d rows, expected %d", req.ID, t.NumRows(), req.Rows)}
+			}
+			tab = t
+			w.m.installedBytes.Add(int64(len(req.Payload)))
+		} else {
+			t, useStore, err := w.lookup(req.ReuseEpoch, req.ReuseID)
+			if err != nil {
+				return AdminResponse{Err: fmt.Sprintf("aliasing partition %d: %v", req.ID, err)}
+			}
+			if useStore {
+				sp, err := w.store.Partition(req.ReuseID)
+				if err != nil {
+					return AdminResponse{Err: fmt.Sprintf("aliasing partition %d: %v", req.ID, err)}
+				}
+				t = sp.Table
+			}
+			if int64(t.NumRows()) != req.Rows {
+				return AdminResponse{Err: fmt.Sprintf("alias source %d has %d rows, expected %d", req.ReuseID, t.NumRows(), req.Rows)}
+			}
+			tab = t
+		}
+		w.mu.Lock()
+		if w.views[req.Epoch] == nil {
+			w.views[req.Epoch] = &epochView{tables: make(map[layout.ID]*colstore.Table)}
+		}
+		v := w.views[req.Epoch]
+		if v.base {
+			w.mu.Unlock()
+			return AdminResponse{Err: "cannot install into the base epoch"}
+		}
+		v.tables[req.ID] = tab
+		w.mu.Unlock()
+		w.m.installs.Inc()
+		return AdminResponse{}
+	default:
+		return AdminResponse{Err: fmt.Sprintf("unknown admin op %d", req.Op)}
+	}
+}
+
+// Epochs lists the layout epochs the worker currently serves, ascending.
+// Test/diagnostic surface.
+func (w *Worker) Epochs() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]uint64, 0, len(w.views))
+	for e := range w.views {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Start begins serving on addr (use "127.0.0.1:0" for tests) and returns
@@ -182,15 +300,24 @@ func (w *Worker) serveConn(c net.Conn) {
 // serveBinaryConn pipelines scan frames over one multiplexed session.
 func (w *Worker) serveBinaryConn(c net.Conn, br *bufio.Reader) {
 	err := serve.ServeConn(c, br, workerMaxInflight, func(typ byte, payload []byte) (byte, serve.Marshaler, error) {
-		if typ != msgScanReq {
+		switch typ {
+		case msgScanReq:
+			var req ScanRequest
+			if err := req.UnmarshalWire(payload); err != nil {
+				return 0, nil, err
+			}
+			resp := w.handle(req)
+			return msgScanResp, &resp, nil
+		case msgAdminReq:
+			var req AdminRequest
+			if err := req.UnmarshalWire(payload); err != nil {
+				return 0, nil, err
+			}
+			resp := w.handleAdmin(req)
+			return msgAdminResp, &resp, nil
+		default:
 			return 0, nil, fmt.Errorf("dist: unexpected worker frame type %d", typ)
 		}
-		var req ScanRequest
-		if err := req.UnmarshalWire(payload); err != nil {
-			return 0, nil, err
-		}
-		resp := w.handle(req)
-		return msgScanResp, &resp, nil
 	})
 	if err != nil && !errors.Is(err, io.EOF) && !w.isClosed() {
 		w.m.dropped.Inc()
@@ -219,12 +346,16 @@ func (w *Worker) serveGobConn(c net.Conn, br *bufio.Reader) {
 	}
 }
 
-// scanKey is the scan-sharing key: one partition under one predicate class.
-// The box bytes identify the predicate — two requests share a kernel pass
-// only when their rewritten range is bit-identical, so sharing can never
-// change a result.
-func scanKey(id layout.ID, q geom.Box) string {
-	b := make([]byte, 0, 8+16*len(q.Lo))
+// scanKey is the scan-sharing key: one partition under one predicate class
+// in one layout epoch. The box bytes identify the predicate — two requests
+// share a kernel pass only when their rewritten range is bit-identical, so
+// sharing can never change a result. The epoch participates because the same
+// ID names different physical partitions in different epochs; renamed
+// partitions that alias one table could legally share across epochs, but the
+// key cannot know which IDs alias without racing the install path.
+func scanKey(epoch uint64, id layout.ID, q geom.Box) string {
+	b := make([]byte, 0, 16+16*len(q.Lo))
+	b = binary.LittleEndian.AppendUint64(b, epoch)
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
 	for _, v := range q.Lo {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
@@ -235,13 +366,21 @@ func scanKey(id layout.ID, q geom.Box) string {
 	return string(b)
 }
 
-// scanPartition runs (or attaches to) the kernel scan of one partition.
-func (w *Worker) scanPartition(id layout.ID, q geom.Box) (colstore.ScanStats, error) {
-	st, shared, err := w.flight.Do(scanKey(id, q), func() (colstore.ScanStats, error) {
+// scanPartition runs (or attaches to) the kernel scan of one partition under
+// one layout epoch.
+func (w *Worker) scanPartition(epoch uint64, id layout.ID, q geom.Box) (colstore.ScanStats, error) {
+	st, shared, err := w.flight.Do(scanKey(epoch, id, q), func() (colstore.ScanStats, error) {
+		tab, useStore, err := w.lookup(epoch, id)
+		if err != nil {
+			return colstore.ScanStats{}, err
+		}
 		if w.scanHook != nil {
 			w.scanHook(id)
 		}
-		return w.store.ScanPartitionParallel(id, q, w.scanPool)
+		if useStore {
+			return w.store.ScanPartitionParallel(id, q, w.scanPool)
+		}
+		return tab.CountParallel(q, w.scanPool, &w.tabScanners), nil
 	})
 	if shared {
 		w.m.sharedScans.Inc()
@@ -249,11 +388,13 @@ func (w *Worker) scanPartition(id layout.ID, q geom.Box) (colstore.ScanStats, er
 	return st, err
 }
 
-// batchKey is the whole-batch sharing key: the ordered partition list plus
-// the predicate box. Seq and Deadline are deliberately excluded — they vary
-// per request but do not change what a clean scan returns.
+// batchKey is the whole-batch sharing key: the layout epoch, the ordered
+// partition list and the predicate box. Seq and Deadline are deliberately
+// excluded — they vary per request but do not change what a clean scan
+// returns.
 func batchKey(req ScanRequest) string {
-	b := make([]byte, 0, 8*len(req.IDs)+16*len(req.Query.Lo))
+	b := make([]byte, 0, 8+8*len(req.IDs)+16*len(req.Query.Lo))
+	b = binary.LittleEndian.AppendUint64(b, req.Epoch)
 	for _, id := range req.IDs {
 		b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
 	}
@@ -309,13 +450,7 @@ func (w *Worker) execBatch(req ScanRequest) ScanResponse {
 			w.m.deadlineDrops.Inc()
 			break
 		}
-		if !w.assigned[id] {
-			resp.Err = fmt.Sprintf("worker does not host partition %d", id)
-			resp.FailedPartition = int64(id)
-			w.m.errors.Inc()
-			break
-		}
-		st, err := w.scanPartition(id, req.Query)
+		st, err := w.scanPartition(req.Epoch, id, req.Query)
 		if err != nil {
 			resp.Err = err.Error()
 			resp.FailedPartition = int64(id)

@@ -1,0 +1,168 @@
+package drift
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"paw/internal/core"
+	"paw/internal/ingest"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		Window:       64,
+		CheckEvery:   16,
+		Delta:        0.02,
+		DeltaSlack:   1,
+		CostFactor:   1.2,
+		MinGain:      0.05,
+		BuildMinRows: 10,
+		MinPartRows:  128,
+		MaxPartRows:  512,
+		BuildSample:  1000,
+		GroupRows:    256,
+		Replicas:     1,
+		Validate:     true,
+		Seed:         42,
+	}
+}
+
+// TestDriftEndToEnd is the tentpole acceptance test: a seeded drifting
+// workload trips the monitor, the controller rebuilds only the drifted
+// region and migrates the cluster onto the patch without stopping service,
+// every query before/during/after answers exactly what the static oracle
+// says, and the recovered per-query scan cost lands within 10% of a full
+// offline rebuild for the same live workload.
+func TestDriftEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	tc := startDriftCluster(t, 16000, 3, cfg)
+	names := tc.data.Names()
+
+	// Phase 1 — steady traffic from the reference workload: fills the
+	// window, sets the cost baseline, must not trigger.
+	for i := 0; i < cfg.Window; i++ {
+		tc.serve(t, boxSQL(names, tc.hist[i%len(tc.hist)].Box))
+	}
+	if rep, err := tc.ctl.TriggerNow(context.Background()); err != nil {
+		t.Fatal(err)
+	} else if rep.Triggered {
+		t.Fatalf("steady traffic must not trigger: %+v", rep.Decision)
+	}
+
+	// Phase 2 — drifted traffic: small queries in the coarse right region.
+	drifted := rightBoxes(cfg.Window, 99)
+	var preBytes int64
+	for _, b := range drifted {
+		preBytes += tc.serve(t, boxSQL(names, b)).BytesScanned
+	}
+
+	// Phase 3 — trigger while concurrent clients keep querying: the
+	// migration must not produce a single wrong answer.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	concurrent := rightBoxes(8, 123)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sql := boxSQL(names, concurrent[(g+i)%len(concurrent)])
+				resp, err := tc.master.Query(sql)
+				if err != nil {
+					t.Errorf("query during migration: %v", err)
+					return
+				}
+				if want := tc.oracleRows(t, sql); resp.Rows != want {
+					t.Errorf("query during migration: %d rows, oracle says %d", resp.Rows, want)
+					return
+				}
+			}
+		}(g)
+	}
+	rep, err := tc.ctl.TriggerNow(context.Background())
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("trigger: %v (report %+v)", err, rep)
+	}
+	if !rep.Triggered || !rep.Migrated {
+		t.Fatalf("drifted traffic must trigger and migrate: %+v", rep)
+	}
+	if rep.Epoch != 1 || tc.master.Epoch() != 1 {
+		t.Fatalf("epoch = %d (master %d), want 1", rep.Epoch, tc.master.Epoch())
+	}
+	if rep.Added == 0 || rep.Removed == 0 || rep.Renamed == 0 {
+		t.Fatalf("patch must rebuild a strict subtree: %+v", rep)
+	}
+	if rep.MovedBytes <= 0 {
+		t.Fatal("migration must ship rebuilt payloads")
+	}
+	if rep.CostAfter >= rep.CostBefore {
+		t.Fatalf("modeled window cost must drop: %d -> %d", rep.CostBefore, rep.CostAfter)
+	}
+
+	// Phase 4 — the same drifted queries after cutover: still exact, and
+	// observed scan volume must have recovered.
+	var postBytes int64
+	for _, b := range drifted {
+		postBytes += tc.serve(t, boxSQL(names, b)).BytesScanned
+	}
+	if postBytes >= preBytes/2 {
+		t.Fatalf("observed scan volume did not recover: %d pre, %d post", preBytes, postBytes)
+	}
+	// Steady traffic still works on the patched layout (renamed partitions
+	// serve via zero-copy aliases).
+	for i := 0; i < 8; i++ {
+		tc.serve(t, boxSQL(names, tc.hist[i].Box))
+	}
+
+	// Recovery quality: within 10% of a full offline rebuild for the live
+	// workload, run through the same construction pipeline (sample build +
+	// full-scale ingest maintenance) over the whole domain.
+	var live workload.Workload
+	for i, b := range drifted {
+		live = append(live, workload.Query{Box: b, Seq: int64(i)})
+	}
+	offline := offlineRebuild(t, tc, live, cfg)
+	liveBoxes := live.Boxes()
+	got := tc.ctl.layout().AvgCost(liveBoxes, nil)
+	want := offline.AvgCost(liveBoxes, nil)
+	if want <= 0 {
+		t.Fatalf("offline rebuild cost = %g", want)
+	}
+	if got > 1.10*want {
+		t.Fatalf("recovered cost %.0f exceeds 110%% of offline rebuild %.0f", got, want)
+	}
+}
+
+// offlineRebuild runs the controller's construction pipeline over the whole
+// domain — the quality bar the incremental patch is measured against.
+func offlineRebuild(t *testing.T, tc *driftCluster, live workload.Workload, cfg Config) *layout.Layout {
+	t.Helper()
+	all := make([]int, tc.data.NumRows())
+	for i := range all {
+		all[i] = i
+	}
+	sample := strideSample(all, cfg.BuildSample)
+	built := core.Build(tc.data, sample, tc.data.Domain(), live, core.Params{
+		MinRows: cfg.BuildMinRows,
+		Delta:   cfg.Delta,
+	})
+	ing, err := ingest.New(built, nil, ingest.Params{MinRows: cfg.MinPartRows, MaxRows: cfg.MaxPartRows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range all {
+		ing.Add(tc.data.Point(r))
+	}
+	ing.Maintain()
+	return ing.Snapshot()
+}

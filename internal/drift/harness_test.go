@@ -1,0 +1,160 @@
+package drift
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"paw/internal/blockstore"
+	"paw/internal/core"
+	"paw/internal/dataset"
+	"paw/internal/dist"
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/placement"
+	"paw/internal/router"
+	"paw/internal/workload"
+)
+
+// The test scenario used throughout this package: uniform 2-d data over the
+// unit square, a historical workload confined to the left part, so the
+// built layout is fine on the left and coarse on the right — and a drifted
+// query cluster of small boxes on the right regresses observed cost until
+// the controller rebuilds that region.
+
+func unitData(t testing.TB, rows int, seed int64) *dataset.Dataset {
+	t.Helper()
+	return dataset.Uniform(rows, 2, seed)
+}
+
+// buildLeftLayout builds (and routes) a layout for the left-weighted
+// reference workload.
+func buildLeftLayout(t testing.TB, data *dataset.Dataset, hist workload.Workload, delta float64) *layout.Layout {
+	t.Helper()
+	sample := data.Sample(1500, 13)
+	l := core.Build(data, sample, data.Domain(), hist, core.Params{MinRows: 20, Delta: delta})
+	l.Route(data)
+	return l
+}
+
+// driftCluster is a live cluster plus the drift controller under test.
+type driftCluster struct {
+	data    *dataset.Dataset
+	hist    workload.Workload
+	layout  *layout.Layout // the layout the cluster started with (epoch 0)
+	oracle  *router.Master // static router over the epoch-0 layout (row oracle)
+	workers []*dist.Worker
+	master  *dist.Master
+	ctl     *Controller
+
+	// oracleMu/oracleRowsBySQL memoize the row oracle per statement: the
+	// differential load loops over few distinct statements, and a linear
+	// count per served query would dominate the test's runtime.
+	oracleMu        sync.Mutex
+	oracleRowsBySQL map[string]int
+}
+
+// startDriftCluster spins up workers + master over loopback TCP on the
+// left-weighted scenario and attaches a drift controller (manual trigger).
+func startDriftCluster(t testing.TB, rows, nWorkers int, cfg Config) *driftCluster {
+	t.Helper()
+	data := unitData(t, rows, 7)
+	hist := workload.Uniform(box2(0, 0, 0.45, 1), workload.Defaults(30, 11))
+	l := buildLeftLayout(t, data, hist, cfg.Delta)
+	store := blockstore.Materialize(l, data, blockstore.Config{GroupRows: 256})
+
+	place := placement.RoundRobin(l, nWorkers)
+	perWorker := make([][]layout.ID, nWorkers)
+	for id, w := range place {
+		perWorker[w] = append(perWorker[w], id)
+	}
+	tc := &driftCluster{data: data, hist: hist, layout: l, oracleRowsBySQL: make(map[string]int)}
+	addrs := make([]string, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		wk := dist.NewWorker(store, perWorker[w])
+		addr, err := wk.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[w] = addr
+		tc.workers = append(tc.workers, wk)
+	}
+	rm, err := router.NewMaster(l, data.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := router.NewMaster(l, data.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.oracle = oracle
+	m, err := dist.NewMaster(rm, addrs, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.master = m
+	tc.ctl = New(m, data, hist, cfg)
+	tc.ctl.Attach(false)
+	t.Cleanup(func() {
+		m.Close()
+		for _, wk := range tc.workers {
+			wk.Close()
+		}
+	})
+	return tc
+}
+
+// boxSQL renders a range query box as SQL over the dataset's columns. %v on
+// float64 prints the shortest round-tripping representation, so the parsed
+// box equals b exactly.
+func boxSQL(names []string, b geom.Box) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT * FROM t WHERE ")
+	for d, n := range names {
+		if d > 0 {
+			sb.WriteString(" AND ")
+		}
+		fmt.Fprintf(&sb, "%s >= %v AND %s <= %v", n, b.Lo[d], n, b.Hi[d])
+	}
+	return sb.String()
+}
+
+// oracleRows counts the rows a query must return, independently of any
+// layout: the SQL is routed on the static epoch-0 router purely to recover
+// its range boxes, then counted directly against the dataset.
+func (tc *driftCluster) oracleRows(t testing.TB, sql string) int {
+	t.Helper()
+	tc.oracleMu.Lock()
+	if want, ok := tc.oracleRowsBySQL[sql]; ok {
+		tc.oracleMu.Unlock()
+		return want
+	}
+	tc.oracleMu.Unlock()
+	plan, err := tc.oracle.RouteSQL(sql)
+	if err != nil {
+		t.Fatalf("oracle route %q: %v", sql, err)
+	}
+	want := 0
+	for _, rp := range plan.Ranges {
+		want += tc.data.CountInBox(rp.Range, nil)
+	}
+	tc.oracleMu.Lock()
+	tc.oracleRowsBySQL[sql] = want
+	tc.oracleMu.Unlock()
+	return want
+}
+
+// serve runs one query through the master and asserts its row count against
+// the static oracle.
+func (tc *driftCluster) serve(t testing.TB, sql string) dist.QueryResponse {
+	t.Helper()
+	resp, err := tc.master.Query(sql)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	if want := tc.oracleRows(t, sql); resp.Rows != want {
+		t.Fatalf("query %q: %d rows, oracle says %d", sql, resp.Rows, want)
+	}
+	return resp
+}

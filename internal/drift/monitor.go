@@ -1,0 +1,398 @@
+// Package drift closes the loop between the paper's variance-aware
+// construction (§IV) and a serving cluster: a monitor on the master keeps a
+// sliding window of live routed queries, estimates the minimal δ′ that would
+// make the window similar to the historical workload the layout was built
+// for (the §IV-E estimator, directed at live traffic), and — when the live
+// workload has left the layout's variance scope AND observed scan cost has
+// regressed past a configurable factor — rebuilds only the violated region
+// of the partition tree and migrates the cluster onto the patched layout
+// (layout.PatchSubtree → dist.ApplyMigration) without stopping service.
+//
+// The package splits into a Monitor (pure observation and decision state,
+// deterministic given an observation sequence) and a Controller (the rebuild
+// + migration pipeline around it). Everything the monitor decides is
+// inspectable through Status, and the controller can be driven synchronously
+// (TriggerNow) for deterministic tests or auto-triggered from the master's
+// query observer.
+package drift
+
+import (
+	"sync"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+	"paw/internal/workload"
+)
+
+// Config bundles the monitor and controller knobs. The zero value is
+// completed by withDefaults; only Delta has no sensible default (a layout
+// built with δ=0 has an empty variance scope, so any drift triggers).
+type Config struct {
+	// Window is the sliding-window size in observed queries.
+	Window int
+	// CheckEvery runs the drift decision every N observations.
+	CheckEvery int
+	// Delta is the layout's variance scope δ (the value the layout was
+	// built with, in absolute domain units).
+	Delta float64
+	// DeltaSlack scales δ before comparison: the window is out of scope
+	// when δ′ > Delta·DeltaSlack. Values > 1 make the trigger lazier than
+	// the build-time scope.
+	DeltaSlack float64
+	// CostFactor is the regression gate: reorganization is considered only
+	// when the window's average observed scan bytes exceed CostFactor × the
+	// baseline average (the first full window after the layout was
+	// installed). Out-of-scope traffic that the layout still serves cheaply
+	// does not trigger.
+	CostFactor float64
+	// MinGain is the benefit gate: the patched layout must cut the window's
+	// modeled scan cost by at least this fraction, or the migration is
+	// skipped.
+	MinGain float64
+	// Cooldown is the number of observations after a migration (or a
+	// skipped trigger) before the monitor may fire again.
+	Cooldown int
+
+	// BuildMinRows is bmin (in sample rows) for the region rebuild.
+	BuildMinRows int
+	// MinPartRows / MaxPartRows bound rebuilt partitions at full-data scale
+	// (ingest maintenance enforces them on the replacement subtree).
+	MinPartRows int
+	MaxPartRows int
+	// BuildSample caps the construction sample for the region rebuild.
+	BuildSample int
+	// GroupRows is the colstore row-group size for migrated payloads.
+	GroupRows int
+	// Parallelism is the rebuild's parbuild width (0 = GOMAXPROCS).
+	Parallelism int
+	// Replicas is the replica count for partitions added by a rebuild
+	// (surviving partitions keep their old replica sets).
+	Replicas int
+	// Validate runs the invariant drift/cutover oracles on every patch
+	// before it is applied, aborting the migration on any violation.
+	Validate bool
+	// Seed drives the controller's deterministic sampling and the oracle
+	// probes.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 32
+	}
+	if c.DeltaSlack <= 0 {
+		c.DeltaSlack = 1
+	}
+	if c.CostFactor <= 0 {
+		c.CostFactor = 1.3
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 0.05
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Window
+	}
+	if c.BuildMinRows <= 0 {
+		c.BuildMinRows = 8
+	}
+	if c.MinPartRows <= 0 {
+		c.MinPartRows = 64
+	}
+	if c.MaxPartRows < 2*c.MinPartRows {
+		c.MaxPartRows = 4 * c.MinPartRows
+	}
+	if c.BuildSample <= 0 {
+		c.BuildSample = 2000
+	}
+	if c.GroupRows <= 0 {
+		c.GroupRows = 512
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	return c
+}
+
+// obsEntry is one windowed query observation.
+type obsEntry struct {
+	boxes  []geom.Box
+	bytes  int64
+	cached bool
+}
+
+// Monitor is the observation half: a ring of recent routed queries plus the
+// reference workload the serving layout was built for. It is pure decision
+// state — it never touches the cluster — and is safe for concurrent
+// Observe/Status calls.
+type Monitor struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ref  workload.Workload // reference QH the layout's scope is anchored to
+	ring []obsEntry
+	next int   // ring write cursor
+	full bool  // ring has wrapped at least once
+	seen int64 // total observations
+
+	// baseline is the mean observed scan bytes of the first full window
+	// after the reference was (re)anchored; 0 until known.
+	baseline    float64
+	cooldownEnd int64 // observation count before which triggers are muted
+
+	// waste is the AQWA-style ledger: per partition, the estimated bytes
+	// scanned beyond the query/partition overlap, accumulated over the
+	// window's lifetime. Purely advisory (Status/bench); reset when the
+	// reference re-anchors.
+	waste map[layout.ID]float64
+}
+
+// NewMonitor builds a monitor anchored to the reference workload hist (the
+// workload the serving layout was built for).
+func NewMonitor(hist workload.Workload, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:   cfg,
+		ref:   hist.Clone(),
+		ring:  make([]obsEntry, cfg.Window),
+		waste: make(map[layout.ID]float64),
+	}
+}
+
+// Observe records one served query: its routed range boxes, the scan bytes
+// the response reported, and whether it was answered from the result cache.
+// l, when non-nil, feeds the per-partition waste ledger; ids are the
+// partitions the plan touched.
+func (mo *Monitor) Observe(boxes []geom.Box, bytes int64, cached bool, l *layout.Layout, ids []layout.ID) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	mo.ring[mo.next] = obsEntry{boxes: boxes, bytes: bytes, cached: cached}
+	mo.next = (mo.next + 1) % len(mo.ring)
+	if mo.next == 0 {
+		mo.full = true
+	}
+	mo.seen++
+	if mo.full && mo.baseline == 0 {
+		mo.baseline = mo.windowAvgLocked()
+	}
+	if l != nil && len(boxes) > 0 {
+		mo.accountWasteLocked(l, boxes, ids)
+	}
+}
+
+// accountWasteLocked adds each touched partition's estimated overscan for
+// this query: the fraction of the partition's volume the query ranges do not
+// cover, times the partition's bytes. A crude geometric estimate (AQWA uses
+// the same shape of ledger to rank split candidates), but it needs no data
+// access and converges on the partitions the drift actually punishes.
+func (mo *Monitor) accountWasteLocked(l *layout.Layout, boxes []geom.Box, ids []layout.ID) {
+	for _, id := range ids {
+		if int(id) < 0 || int(id) >= len(l.Parts) {
+			continue
+		}
+		p := l.Parts[id]
+		pb := p.Desc.MBR()
+		pv := pb.Volume()
+		if pv <= 0 {
+			continue
+		}
+		covered := 0.0
+		for _, q := range boxes {
+			if inter, ok := q.Intersection(pb); ok {
+				covered += inter.Volume()
+			}
+		}
+		frac := covered / pv
+		if frac > 1 {
+			frac = 1
+		}
+		mo.waste[id] += (1 - frac) * float64(p.Bytes())
+	}
+}
+
+// windowAvgLocked is the mean observed scan bytes over the current window
+// (cached hits count — they are demand the layout would otherwise serve with
+// real I/O at their recorded cost).
+func (mo *Monitor) windowAvgLocked() float64 {
+	n := mo.next
+	if mo.full {
+		n = len(mo.ring)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += mo.ring[i].bytes
+	}
+	return float64(sum) / float64(n)
+}
+
+// windowWorkloadLocked flattens the window's range boxes into a workload.
+func (mo *Monitor) windowWorkloadLocked() workload.Workload {
+	n := mo.next
+	if mo.full {
+		n = len(mo.ring)
+	}
+	var w workload.Workload
+	for i := 0; i < n; i++ {
+		for _, b := range mo.ring[i].boxes {
+			w = append(w, workload.Query{Box: b, Seq: int64(len(w))})
+		}
+	}
+	return w
+}
+
+// outOfScopeLocked returns the window query boxes whose distance to the
+// nearest reference query exceeds the (slack-scaled) scope δ — the live
+// queries the layout was provably not built for. Their MBR is the violated
+// region the controller rebuilds.
+func (mo *Monitor) outOfScopeLocked() []geom.Box {
+	limit := mo.cfg.Delta * mo.cfg.DeltaSlack
+	n := mo.next
+	if mo.full {
+		n = len(mo.ring)
+	}
+	var out []geom.Box
+	for i := 0; i < n; i++ {
+		for _, b := range mo.ring[i].boxes {
+			q := workload.Query{Box: b}
+			best := -1.0
+			for _, r := range mo.ref {
+				d := workload.Dist(r, q)
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+			if best > limit {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// Decision is one drift evaluation: whether to trigger, why or why not, and
+// the evidence.
+type Decision struct {
+	// Trigger is true when the live window is out of the layout's variance
+	// scope and observed cost has regressed: the controller should rebuild.
+	Trigger bool
+	// Reason is a one-line explanation of the decision.
+	Reason string
+	// DeltaEstimate is δ′: the directed minimal δ that would bring the
+	// window into the reference's scope.
+	DeltaEstimate float64
+	// WindowAvgBytes and BaselineAvgBytes are the observed-cost evidence.
+	WindowAvgBytes   float64
+	BaselineAvgBytes float64
+	// Region is the MBR of the out-of-scope queries (zero Box when none).
+	Region geom.Box
+	// OutOfScope counts the window queries outside the scope.
+	OutOfScope int
+}
+
+// Evaluate runs the drift decision over the current window. It is
+// side-effect-free: triggering policy (cooldowns) is applied by the caller
+// via MuteFor.
+func (mo *Monitor) Evaluate() Decision {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	d := Decision{
+		WindowAvgBytes:   mo.windowAvgLocked(),
+		BaselineAvgBytes: mo.baseline,
+	}
+	if !mo.full {
+		d.Reason = "window not yet full"
+		return d
+	}
+	if mo.seen < mo.cooldownEnd {
+		d.Reason = "cooling down"
+		return d
+	}
+	live := mo.windowWorkloadLocked()
+	d.DeltaEstimate = workload.DirectedDelta(mo.ref, live)
+	if d.DeltaEstimate <= mo.cfg.Delta*mo.cfg.DeltaSlack {
+		d.Reason = "window within variance scope"
+		return d
+	}
+	oos := mo.outOfScopeLocked()
+	d.OutOfScope = len(oos)
+	if len(oos) == 0 {
+		d.Reason = "no individual query out of scope"
+		return d
+	}
+	d.Region = geom.MBR(oos...)
+	if mo.baseline > 0 && d.WindowAvgBytes < mo.cfg.CostFactor*mo.baseline {
+		d.Reason = "out of scope but cost has not regressed"
+		return d
+	}
+	d.Trigger = true
+	d.Reason = "out of scope and cost regressed"
+	return d
+}
+
+// MuteFor suppresses triggers for the next n observations (cooldown after a
+// migration or a rejected trigger).
+func (mo *Monitor) MuteFor(n int) {
+	mo.mu.Lock()
+	mo.cooldownEnd = mo.seen + int64(n)
+	mo.mu.Unlock()
+}
+
+// Reanchor replaces the reference workload (after a migration: the layout's
+// scope is now centered on what was just observed) and resets the baseline
+// and waste ledger.
+func (mo *Monitor) Reanchor(ref workload.Workload) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	mo.ref = ref.Clone()
+	mo.baseline = 0
+	mo.full = false
+	mo.next = 0
+	mo.waste = make(map[layout.ID]float64)
+}
+
+// Window returns a snapshot of the current window as a workload (for the
+// controller's rebuild and benefit gate).
+func (mo *Monitor) Window() workload.Workload {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.windowWorkloadLocked()
+}
+
+// Seen returns the total number of observations.
+func (mo *Monitor) Seen() int64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.seen
+}
+
+// PartitionWaste is one waste-ledger entry.
+type PartitionWaste struct {
+	ID    layout.ID
+	Bytes float64
+}
+
+// TopWaste returns the k partitions with the highest accumulated estimated
+// overscan, descending.
+func (mo *Monitor) TopWaste(k int) []PartitionWaste {
+	mo.mu.Lock()
+	out := make([]PartitionWaste, 0, len(mo.waste))
+	for id, w := range mo.waste {
+		out = append(out, PartitionWaste{ID: id, Bytes: w})
+	}
+	mo.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].Bytes > out[j-1].Bytes ||
+			(out[j].Bytes == out[j-1].Bytes && out[j].ID < out[j-1].ID)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package invariant
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"paw/internal/geom"
+	"paw/internal/layout"
+)
+
+// Drift/cutover oracles (DESIGN.md §13): when the drift re-partitioner
+// patches a layout and migrates the distributed path onto it, two contracts
+// must hold. The drift oracle checks the patch itself — the diff accounts
+// for every partition exactly once, renamed partitions are physically
+// identical, rows are conserved, the rebuilt region tiles the same space,
+// and point routing agrees across the patch. The cutover oracle checks the
+// migration plan against the diff — every new partition is installed exactly
+// once, unchanged partitions move zero bytes (the incremental contract), and
+// shipped payload sizes match the partitions they claim to carry. Like every
+// oracle here they derive expected values independently of the code under
+// test, so a re-partitioner bug cannot hide by breaking the checker the same
+// way.
+
+// Additional oracle names (see the package comment for the original six).
+const (
+	OracleDrift   = "drift"
+	OracleCutover = "cutover"
+)
+
+// driftProbes is the number of seeded routing probes CheckDrift throws at
+// the rebuilt region.
+const driftProbes = 256
+
+// CheckDrift validates a subtree patch: old is the layout that was serving,
+// next is the patched layout, d the diff PatchSubtree reported. seed drives
+// the routing probes.
+func CheckDrift(old, next *layout.Layout, d layout.Diff, seed int64) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, violationf(OracleDrift, format, args...))
+	}
+	if old == nil || next == nil {
+		return violationf(OracleDrift, "nil layout")
+	}
+
+	// Accounting: {Renamed keys} ⊎ {Removed} = old IDs, {Renamed values} ⊎
+	// {Added} = new IDs, each side without duplicates.
+	removed := make(map[layout.ID]bool, len(d.Removed))
+	for _, id := range d.Removed {
+		if int(id) < 0 || int(id) >= len(old.Parts) {
+			fail("removed ID %d outside old layout (%d partitions)", id, len(old.Parts))
+			continue
+		}
+		if removed[id] {
+			fail("removed ID %d listed twice", id)
+		}
+		removed[id] = true
+	}
+	added := make(map[layout.ID]bool, len(d.Added))
+	for _, id := range d.Added {
+		if int(id) < 0 || int(id) >= len(next.Parts) {
+			fail("added ID %d outside new layout (%d partitions)", id, len(next.Parts))
+			continue
+		}
+		if added[id] {
+			fail("added ID %d listed twice", id)
+		}
+		added[id] = true
+	}
+	newTaken := make(map[layout.ID]layout.ID, len(d.Renamed))
+	for oldID, newID := range d.Renamed {
+		if int(oldID) < 0 || int(oldID) >= len(old.Parts) {
+			fail("renamed old ID %d outside old layout", oldID)
+			continue
+		}
+		if int(newID) < 0 || int(newID) >= len(next.Parts) {
+			fail("renamed new ID %d outside new layout", newID)
+			continue
+		}
+		if removed[oldID] {
+			fail("old ID %d both renamed and removed", oldID)
+		}
+		if added[newID] {
+			fail("new ID %d both renamed-to and added", newID)
+		}
+		if prev, dup := newTaken[newID]; dup {
+			fail("old IDs %d and %d both rename to %d", prev, oldID, newID)
+		}
+		newTaken[newID] = oldID
+	}
+	if got, want := len(d.Renamed)+len(removed), len(old.Parts); got != want {
+		fail("diff accounts for %d of %d old partitions", got, want)
+	}
+	if got, want := len(newTaken)+len(added), len(next.Parts); got != want {
+		fail("diff accounts for %d of %d new partitions", got, want)
+	}
+	if len(errs) > 0 {
+		// The structural checks below index through the maps; with broken
+		// accounting they would only cascade.
+		return errors.Join(errs...)
+	}
+
+	// Renamed fidelity: an unchanged partition must be physically identical
+	// — same region, same kind, same rows, same record size.
+	for oldID, newID := range d.Renamed {
+		op, np := old.Parts[oldID], next.Parts[newID]
+		if !op.Desc.MBR().Equal(np.Desc.MBR()) || op.Desc.Kind() != np.Desc.Kind() {
+			fail("renamed %d→%d changed descriptor (%v to %v)", oldID, newID, op.Desc.MBR(), np.Desc.MBR())
+		}
+		if op.FullRows != np.FullRows {
+			fail("renamed %d→%d changed rows (%d to %d)", oldID, newID, op.FullRows, np.FullRows)
+		}
+		if op.RowBytes != np.RowBytes {
+			fail("renamed %d→%d changed row size (%d to %d)", oldID, newID, op.RowBytes, np.RowBytes)
+		}
+	}
+
+	// Monotonicity of the rename mapping: both layouts number leaves in
+	// pre-order, so surviving partitions must keep their relative order —
+	// the cache sweep translates sorted ID lists in place relying on it.
+	oldIDs := make([]layout.ID, 0, len(d.Renamed))
+	for id := range d.Renamed {
+		oldIDs = append(oldIDs, id)
+	}
+	sort.Slice(oldIDs, func(i, j int) bool { return oldIDs[i] < oldIDs[j] })
+	for i := 1; i < len(oldIDs); i++ {
+		if d.Renamed[oldIDs[i-1]] >= d.Renamed[oldIDs[i]] {
+			fail("rename mapping not strictly increasing: %d→%d but %d→%d",
+				oldIDs[i-1], d.Renamed[oldIDs[i-1]], oldIDs[i], d.Renamed[oldIDs[i]])
+		}
+	}
+
+	// Row conservation: the patch reorganises records, it never creates or
+	// destroys them.
+	var removedRows, addedRows int64
+	region := geom.Box{}
+	for id := range removed {
+		removedRows += old.Parts[id].FullRows
+		if region.Dims() == 0 {
+			region = old.Parts[id].Desc.MBR().Clone()
+		} else {
+			region = geom.MBR(region, old.Parts[id].Desc.MBR())
+		}
+	}
+	for id := range added {
+		addedRows += next.Parts[id].FullRows
+	}
+	if removedRows != addedRows {
+		fail("rebuilt region changed row count: removed %d rows, added %d", removedRows, addedRows)
+	}
+
+	// Region conservation: every added partition must live inside the MBR
+	// of the partitions it replaced.
+	for id := range added {
+		if region.Dims() == 0 || !region.ContainsBox(next.Parts[id].Desc.MBR()) {
+			fail("added partition %d (%v) escapes the rebuilt region %v", id, next.Parts[id].Desc.MBR(), region)
+		}
+	}
+
+	// Routing agreement: seeded point probes in the rebuilt region must
+	// route consistently across the patch — to the renamed image of their
+	// old partition, or from a removed partition into an added one.
+	if region.Dims() > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		pt := make(geom.Point, region.Dims())
+		for i := 0; i < driftProbes; i++ {
+			for dim := range pt {
+				pt[dim] = region.Lo[dim] + rng.Float64()*(region.Hi[dim]-region.Lo[dim])
+			}
+			op := old.Locate(pt)
+			np := next.Locate(pt)
+			switch {
+			case op == nil:
+				if np != nil {
+					fail("probe %v unrouted in old layout but reaches %d in new", pt, np.ID)
+				}
+			case np == nil:
+				fail("probe %v reaches %d in old layout but is unrouted in new", pt, op.ID)
+			case removed[op.ID]:
+				if !added[np.ID] {
+					fail("probe %v left removed partition %d but landed outside the rebuilt region (new %d)", pt, op.ID, np.ID)
+				}
+			default:
+				if d.Renamed[op.ID] != np.ID {
+					fail("probe %v routes to %d (old) but %d (new); rename says %d", pt, op.ID, np.ID, d.Renamed[op.ID])
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MigrationStep is the oracle's view of one partition install of a
+// migration plan — what moved (or deliberately did not) for one new-layout
+// partition.
+type MigrationStep struct {
+	// ID is the partition in the new layout's numbering.
+	ID layout.ID
+	// Reused marks an alias install: the partition survived the patch and
+	// the workers only learn its new name.
+	Reused bool
+	// OldID is the alias source (Reused only).
+	OldID layout.ID
+	// Bytes is the shipped payload size (payload installs only).
+	Bytes int64
+	// Rows is the row count the plan claims for the partition.
+	Rows int64
+}
+
+// CheckCutover validates a migration plan against the patch diff it claims
+// to implement: every new partition installed exactly once, renamed
+// partitions installed as zero-byte aliases of their old selves (the
+// budgeted-incremental contract — re-shipping an unchanged partition is a
+// violation, not an inefficiency), rebuilt partitions shipped with the exact
+// row counts the new layout carries.
+func CheckCutover(next *layout.Layout, d layout.Diff, steps []MigrationStep) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, violationf(OracleCutover, format, args...))
+	}
+	if next == nil {
+		return violationf(OracleCutover, "nil layout")
+	}
+	renamedTo := make(map[layout.ID]layout.ID, len(d.Renamed)) // new -> old
+	for oldID, newID := range d.Renamed {
+		renamedTo[newID] = oldID
+	}
+	added := make(map[layout.ID]bool, len(d.Added))
+	for _, id := range d.Added {
+		added[id] = true
+	}
+	byID := make(map[layout.ID]MigrationStep, len(steps))
+	for _, s := range steps {
+		if int(s.ID) < 0 || int(s.ID) >= len(next.Parts) {
+			fail("step installs unknown partition %d (layout has %d)", s.ID, len(next.Parts))
+			continue
+		}
+		if _, dup := byID[s.ID]; dup {
+			fail("partition %d installed twice", s.ID)
+			continue
+		}
+		byID[s.ID] = s
+	}
+	for _, p := range next.Parts {
+		s, ok := byID[p.ID]
+		if !ok {
+			fail("partition %d has no install step — cutover would serve a partition no worker holds", p.ID)
+			continue
+		}
+		if s.Rows != p.FullRows {
+			fail("partition %d step claims %d rows, layout has %d", p.ID, s.Rows, p.FullRows)
+		}
+		oldID, isRenamed := renamedTo[p.ID]
+		switch {
+		case isRenamed && !s.Reused:
+			fail("partition %d survived the patch (was %d) but the plan ships %d bytes instead of aliasing", p.ID, oldID, s.Bytes)
+		case isRenamed && s.OldID != oldID:
+			fail("partition %d aliases old %d, diff renames %d", p.ID, s.OldID, oldID)
+		case !isRenamed && s.Reused:
+			fail("partition %d is new (rebuilt region) but the plan aliases old %d", p.ID, s.OldID)
+		case !isRenamed && !added[p.ID]:
+			fail("partition %d is neither renamed nor added in the diff", p.ID)
+		case !isRenamed && s.Bytes <= 0 && p.FullRows > 0:
+			fail("partition %d ships no payload for %d rows", p.ID, p.FullRows)
+		}
+	}
+	return errors.Join(errs...)
+}

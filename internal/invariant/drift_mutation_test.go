@@ -1,0 +1,316 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/invariant"
+	"paw/internal/layout"
+)
+
+// Mutation smoke-tests for the drift and cutover oracles, in the style of
+// the original suite: build a clean subtree patch with a known-correct diff
+// and migration plan, assert both oracles pass, then corrupt one violation
+// class at a time and assert the right oracle fires. The fixture is
+// hand-assembled (not built by the drift controller) so the corruptions are
+// surgical: a 2x2 quadrant layout over uniform data whose right half is
+// patched from a vertical to a horizontal split.
+
+type patchFixture struct {
+	data  *dataset.Dataset
+	old   *layout.Layout
+	next  *layout.Layout
+	d     layout.Diff
+	steps []invariant.MigrationStep
+}
+
+const driftFixtureSeed = 99
+
+func rectLeaf(b geom.Box, rows int64) *layout.Node {
+	return &layout.Node{
+		Desc: layout.NewRect(b),
+		Part: &layout.Partition{Desc: layout.NewRect(b), FullRows: rows},
+	}
+}
+
+func buildPatchFixture(t *testing.T) *patchFixture {
+	t.Helper()
+	data := dataset.Uniform(4000, 2, 17)
+	dom := data.Domain()
+	midX := (dom.Lo[0] + dom.Hi[0]) / 2
+	midY := (dom.Lo[1] + dom.Hi[1]) / 2
+
+	box := func(lo0, lo1, hi0, hi1 float64) geom.Box {
+		return geom.Box{Lo: geom.Point{lo0, lo1}, Hi: geom.Point{hi0, hi1}}
+	}
+	leftBox := box(dom.Lo[0], dom.Lo[1], midX, dom.Hi[1])
+	rightBox := box(midX, dom.Lo[1], dom.Hi[0], dom.Hi[1])
+	midRX := (midX + dom.Hi[0]) / 2
+
+	// Old layout: left half split horizontally, right half split vertically.
+	left := &layout.Node{Desc: layout.NewRect(leftBox), Children: []*layout.Node{
+		rectLeaf(box(dom.Lo[0], dom.Lo[1], midX, midY), 0),
+		rectLeaf(box(dom.Lo[0], midY, midX, dom.Hi[1]), 0),
+	}}
+	right := &layout.Node{Desc: layout.NewRect(rightBox), Children: []*layout.Node{
+		rectLeaf(box(midX, dom.Lo[1], midRX, dom.Hi[1]), 0),
+		rectLeaf(box(midRX, dom.Lo[1], dom.Hi[0], dom.Hi[1]), 0),
+	}}
+	root := &layout.Node{Desc: layout.NewRect(dom), Children: []*layout.Node{left, right}}
+	old := layout.Seal("manual", root, 48)
+	old.Route(data)
+	if old.Unrouted != 0 {
+		t.Fatalf("%d rows unrouted in the fixture layout", old.Unrouted)
+	}
+
+	// Replacement for the right half: split horizontally instead. FullRows
+	// come from counting the dataset directly — the oracle must agree.
+	rbBox := box(midX, dom.Lo[1], dom.Hi[0], midY)
+	rtBox := box(midX, midY, dom.Hi[0], dom.Hi[1])
+	rbRows := int64(data.CountInBox(rbBox, nil))
+	rtRows := int64(data.CountInBox(rtBox, nil))
+	var removedRows int64
+	for _, leaf := range right.Leaves() {
+		removedRows += leaf.Part.FullRows
+	}
+	if rbRows+rtRows != removedRows {
+		t.Fatalf("fixture is not row-conserving: %d+%d replacing %d", rbRows, rtRows, removedRows)
+	}
+	repl := &layout.Node{Desc: layout.NewRect(rightBox), Children: []*layout.Node{
+		rectLeaf(rbBox, rbRows),
+		rectLeaf(rtBox, rtRows),
+	}}
+
+	next, d, err := layout.PatchSubtree(old, right, repl)
+	if err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+
+	// The migration plan the cutover oracle expects: aliases for survivors,
+	// payloads for the rebuilt partitions.
+	renamedTo := make(map[layout.ID]layout.ID, len(d.Renamed)) // new -> old
+	for oldID, newID := range d.Renamed {
+		renamedTo[newID] = oldID
+	}
+	var steps []invariant.MigrationStep
+	for _, p := range next.Parts {
+		s := invariant.MigrationStep{ID: p.ID, Rows: p.FullRows}
+		if oldID, ok := renamedTo[p.ID]; ok {
+			s.Reused, s.OldID = true, oldID
+		} else {
+			s.Bytes = p.Bytes()
+		}
+		steps = append(steps, s)
+	}
+	return &patchFixture{data: data, old: old, next: next, d: d, steps: steps}
+}
+
+func (f *patchFixture) checkDrift() error {
+	return invariant.CheckDrift(f.old, f.next, f.d, driftFixtureSeed)
+}
+
+func (f *patchFixture) checkCutover(steps []invariant.MigrationStep) error {
+	return invariant.CheckCutover(f.next, f.d, steps)
+}
+
+// findLeafByID returns the leaf node of l whose partition has the given ID.
+func findLeafByID(t *testing.T, l *layout.Layout, id layout.ID) *layout.Node {
+	t.Helper()
+	var leaf *layout.Node
+	l.Root.Walk(func(n *layout.Node) {
+		if leaf == nil && n.IsLeaf() && n.Part.ID == id {
+			leaf = n
+		}
+	})
+	if leaf == nil {
+		t.Fatalf("no leaf with partition %d", id)
+	}
+	return leaf
+}
+
+// anyRenamed returns one (oldID, newID) pair of the diff.
+func anyRenamed(t *testing.T, d layout.Diff) (layout.ID, layout.ID) {
+	t.Helper()
+	for oldID, newID := range d.Renamed {
+		return oldID, newID
+	}
+	t.Fatal("diff renames nothing")
+	return 0, 0
+}
+
+func TestMutationDriftClean(t *testing.T) {
+	f := buildPatchFixture(t)
+	expectClean(t, f.checkDrift())
+	expectClean(t, f.checkCutover(f.steps))
+	if len(f.d.Added) != 2 || len(f.d.Removed) != 2 || len(f.d.Renamed) != 2 {
+		t.Fatalf("fixture diff has unexpected shape: %+v", f.d)
+	}
+}
+
+func TestMutationDriftAccounting(t *testing.T) {
+	t.Run("duplicate-removed", func(t *testing.T) {
+		f := buildPatchFixture(t)
+		f.d.Removed = append(f.d.Removed, f.d.Removed[0])
+		expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+	})
+	t.Run("renamed-and-removed", func(t *testing.T) {
+		f := buildPatchFixture(t)
+		oldID, _ := anyRenamed(t, f.d)
+		f.d.Removed = append(f.d.Removed, oldID)
+		expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+	})
+	t.Run("unknown-added", func(t *testing.T) {
+		f := buildPatchFixture(t)
+		f.d.Added = append(f.d.Added, layout.ID(len(f.next.Parts)))
+		expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+	})
+	t.Run("unaccounted-old", func(t *testing.T) {
+		f := buildPatchFixture(t)
+		oldID, _ := anyRenamed(t, f.d)
+		delete(f.d.Renamed, oldID)
+		expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+	})
+}
+
+func TestMutationDriftRenamedFidelity(t *testing.T) {
+	t.Run("rows-changed", func(t *testing.T) {
+		// A survivor silently gaining rows means the migration aliased a
+		// partition whose physical content no longer matches the layout.
+		f := buildPatchFixture(t)
+		_, newID := anyRenamed(t, f.d)
+		f.next.Parts[newID].FullRows += 7
+		expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+	})
+	t.Run("descriptor-changed", func(t *testing.T) {
+		f := buildPatchFixture(t)
+		_, newID := anyRenamed(t, f.d)
+		b := f.next.Parts[newID].Desc.MBR().Clone()
+		b.Hi[0] += b.Hi[0] - b.Lo[0]
+		f.next.Parts[newID].Desc = layout.NewRect(b)
+		expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+	})
+}
+
+func TestMutationDriftRenameOrder(t *testing.T) {
+	// Swap the two renamed images: the mapping is no longer strictly
+	// increasing, which would silently break the master's sorted per-
+	// partition cache sweep.
+	f := buildPatchFixture(t)
+	ids := make([]layout.ID, 0, 2)
+	for oldID := range f.d.Renamed {
+		ids = append(ids, oldID)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("fixture renames %d partitions, want 2", len(ids))
+	}
+	f.d.Renamed[ids[0]], f.d.Renamed[ids[1]] = f.d.Renamed[ids[1]], f.d.Renamed[ids[0]]
+	expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+}
+
+func TestMutationDriftRowConservation(t *testing.T) {
+	// The rebuilt region claims more rows than the partitions it replaced —
+	// the patch would be inventing records.
+	f := buildPatchFixture(t)
+	f.next.Parts[f.d.Added[0]].FullRows += 3
+	expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+}
+
+func TestMutationDriftRegionEscape(t *testing.T) {
+	// An added partition whose descriptor reaches outside the replaced
+	// region: the patch no longer tiles the same space.
+	f := buildPatchFixture(t)
+	p := f.next.Parts[f.d.Added[0]]
+	b := p.Desc.MBR().Clone()
+	b.Lo[0] -= b.Hi[0] - b.Lo[0]
+	p.Desc = layout.NewRect(b)
+	expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+}
+
+func TestMutationDriftRoutingProbes(t *testing.T) {
+	// Shrink an added leaf's routing descriptor (the tree node, not the
+	// partition): points in the shaved-off band still route in the old
+	// layout but fall through the patched tree — only the seeded probes can
+	// see this.
+	f := buildPatchFixture(t)
+	leaf := findLeafByID(t, f.next, f.d.Added[0])
+	b := leaf.Desc.MBR().Clone()
+	b.Hi[1] = (b.Lo[1] + b.Hi[1]) / 2
+	leaf.Desc = layout.NewRect(b)
+	expectOracle(t, f.checkDrift(), invariant.OracleDrift)
+}
+
+func TestMutationCutover(t *testing.T) {
+	f := buildPatchFixture(t)
+	expectClean(t, f.checkCutover(f.steps))
+
+	mutate := func(m func(steps []invariant.MigrationStep) []invariant.MigrationStep) []invariant.MigrationStep {
+		cp := make([]invariant.MigrationStep, len(f.steps))
+		copy(cp, f.steps)
+		return m(cp)
+	}
+	stepFor := func(steps []invariant.MigrationStep, id layout.ID) *invariant.MigrationStep {
+		for i := range steps {
+			if steps[i].ID == id {
+				return &steps[i]
+			}
+		}
+		t.Fatalf("no step for partition %d", id)
+		return nil
+	}
+
+	t.Run("missing-step", func(t *testing.T) {
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			return s[1:]
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+	t.Run("duplicate-step", func(t *testing.T) {
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			return append(s, s[0])
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+	t.Run("wrong-rows", func(t *testing.T) {
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			stepFor(s, f.d.Added[0]).Rows++
+			return s
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+	t.Run("reshipped-survivor", func(t *testing.T) {
+		// Shipping a payload for a renamed partition breaks the incremental
+		// contract even though the bytes would be correct.
+		_, newID := anyRenamed(t, f.d)
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			st := stepFor(s, newID)
+			st.Reused = false
+			st.Bytes = f.next.Parts[newID].Bytes()
+			return s
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+	t.Run("aliased-added", func(t *testing.T) {
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			st := stepFor(s, f.d.Added[0])
+			st.Reused, st.OldID, st.Bytes = true, f.d.Removed[0], 0
+			return s
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+	t.Run("wrong-alias-source", func(t *testing.T) {
+		oldID, newID := anyRenamed(t, f.d)
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			stepFor(s, newID).OldID = oldID + 1
+			return s
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+	t.Run("empty-payload", func(t *testing.T) {
+		steps := mutate(func(s []invariant.MigrationStep) []invariant.MigrationStep {
+			stepFor(s, f.d.Added[0]).Bytes = 0
+			return s
+		})
+		expectOracle(t, f.checkCutover(steps), invariant.OracleCutover)
+	})
+}

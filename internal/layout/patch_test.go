@@ -1,0 +1,185 @@
+package layout
+
+import (
+	"testing"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+)
+
+// quadLayout builds the patching fixture at scale s: root → {left, right},
+// left split horizontally, right split vertically; four leaves over [0,s]².
+func quadLayout(s float64) (*Layout, *Node) {
+	leaf := func(b geom.Box) *Node {
+		return &Node{Desc: NewRect(b), Part: &Partition{Desc: NewRect(b)}}
+	}
+	left := &Node{Desc: NewRect(box2(0, 0, 0.5*s, s)), Children: []*Node{
+		leaf(box2(0, 0, 0.5*s, 0.5*s)), leaf(box2(0, 0.5*s, 0.5*s, s)),
+	}}
+	right := &Node{Desc: NewRect(box2(0.5*s, 0, s, s)), Children: []*Node{
+		leaf(box2(0.5*s, 0, 0.75*s, s)), leaf(box2(0.75*s, 0, s, s)),
+	}}
+	root := &Node{Desc: NewRect(box2(0, 0, s, s)), Children: []*Node{left, right}}
+	return Seal("patch-test", root, 16), right
+}
+
+// horizontalRepl replaces the right half (at scale s) with a horizontal
+// split carrying the given row counts.
+func horizontalRepl(s, rows0, rows1 int64) *Node {
+	fs := float64(s)
+	leaf := func(b geom.Box, n int64) *Node {
+		return &Node{Desc: NewRect(b), Part: &Partition{Desc: NewRect(b), FullRows: n}}
+	}
+	return &Node{Desc: NewRect(box2(0.5*fs, 0, fs, fs)), Children: []*Node{
+		leaf(box2(0.5*fs, 0, fs, 0.5*fs), rows0), leaf(box2(0.5*fs, 0.5*fs, fs, fs), rows1),
+	}}
+}
+
+func TestPatchSubtreeDiffShape(t *testing.T) {
+	l, right := quadLayout(10)
+	for i, p := range l.Parts {
+		p.FullRows = int64(100 * (i + 1))
+	}
+	l.TotalBytes = 12345
+	l.Unrouted = 3
+
+	nl, d, err := PatchSubtree(l, right, horizontalRepl(10, 300, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Renamed) != 2 || len(d.Added) != 2 || len(d.Removed) != 2 {
+		t.Fatalf("diff = %+v, want 2 renamed / 2 added / 2 removed", d)
+	}
+	// Pre-order: left leaves keep IDs 0,1; the replacement takes 2,3.
+	if d.Renamed[0] != 0 || d.Renamed[1] != 1 {
+		t.Fatalf("renamed = %v, want identity on the left leaves", d.Renamed)
+	}
+	for i, id := range d.Removed {
+		if int(id) != i+2 {
+			t.Fatalf("removed = %v, want [2 3]", d.Removed)
+		}
+	}
+	for i, id := range d.Added {
+		if int(id) != i+2 {
+			t.Fatalf("added = %v, want [2 3]", d.Added)
+		}
+	}
+	// Carried-over totals and preserved row counts.
+	if nl.TotalBytes != l.TotalBytes || nl.Unrouted != l.Unrouted {
+		t.Fatalf("totals not carried: %d/%d vs %d/%d", nl.TotalBytes, nl.Unrouted, l.TotalBytes, l.Unrouted)
+	}
+	if nl.Parts[0].FullRows != 100 || nl.Parts[1].FullRows != 200 {
+		t.Fatal("renamed partitions lost their row counts")
+	}
+	if nl.Parts[2].FullRows != 300 || nl.Parts[3].FullRows != 400 {
+		t.Fatal("replacement row counts not preserved")
+	}
+	if nl.Parts[0].RowBytes != l.RowBytes {
+		t.Fatalf("new partitions carry row size %d, want %d", nl.Parts[0].RowBytes, l.RowBytes)
+	}
+}
+
+func TestPatchSubtreeLeavesOldLayoutIntact(t *testing.T) {
+	// Unit-scale fixture so the uniform unit-square data spreads over all
+	// four leaves.
+	l, right := quadLayout(1)
+	data := dataset.Uniform(2000, 2, 5)
+	l.Route(data)
+	before := make([]int64, len(l.Parts))
+	for i, p := range l.Parts {
+		before[i] = p.FullRows
+	}
+
+	nl, _, err := PatchSubtree(l, right, horizontalRepl(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the new layout must not leak into the old one.
+	nl.Parts[0].FullRows += 999
+	nl.Parts[0].Desc = NewRect(box2(0, 0, 1, 1))
+	for i, p := range l.Parts {
+		if p.FullRows != before[i] {
+			t.Fatalf("old partition %d rows changed: %d -> %d", i, before[i], p.FullRows)
+		}
+		if p.ID != ID(i) {
+			t.Fatalf("old partition %d renumbered to %d", i, p.ID)
+		}
+	}
+	// The old tree still routes every record the same way.
+	l.Route(data)
+	for i, p := range l.Parts {
+		if p.FullRows != before[i] {
+			t.Fatalf("old layout routing changed for partition %d", i)
+		}
+	}
+}
+
+func TestPatchSubtreeRejectsBadInputs(t *testing.T) {
+	l, right := quadLayout(10)
+	repl := horizontalRepl(10, 0, 0)
+	if _, _, err := PatchSubtree(nil, right, repl); err == nil {
+		t.Error("nil layout must be rejected")
+	}
+	if _, _, err := PatchSubtree(l, nil, repl); err == nil {
+		t.Error("nil target must be rejected")
+	}
+	if _, _, err := PatchSubtree(l, right, nil); err == nil {
+		t.Error("nil replacement must be rejected")
+	}
+	// A node that is not part of the layout (structurally identical copy).
+	_, foreign := quadLayout(10)
+	if _, _, err := PatchSubtree(l, foreign, repl); err == nil {
+		t.Error("foreign target node must be rejected")
+	}
+	// Region mismatch.
+	badRepl := horizontalRepl(10, 0, 0)
+	badRepl.Desc = NewRect(box2(5, 0, 9, 10))
+	if _, _, err := PatchSubtree(l, right, badRepl); err == nil {
+		t.Error("replacement covering a different region must be rejected")
+	}
+	// Replacement with no leaves.
+	empty := &Node{Desc: NewRect(box2(5, 0, 10, 10))}
+	if _, _, err := PatchSubtree(l, right, empty); err == nil {
+		t.Error("leafless replacement must be rejected")
+	}
+}
+
+func TestSubtreeForPicksSmallestRectNode(t *testing.T) {
+	l, right := quadLayout(10)
+	// A query inside the right half resolves to the right subtree.
+	if got := l.SubtreeFor(box2(6, 1, 9, 9)); got != right {
+		t.Fatalf("SubtreeFor(right-half query) = %v, want the right subtree", got.Desc.MBR())
+	}
+	// A query spanning both halves resolves to the root.
+	if got := l.SubtreeFor(box2(4, 4, 6, 6)); got != l.Root {
+		t.Fatalf("SubtreeFor(spanning query) = %v, want the root", got.Desc.MBR())
+	}
+	// Never descends to a leaf: the right subtree's children are leaves, so
+	// even a query inside one leaf stops at the right subtree.
+	if got := l.SubtreeFor(box2(5.5, 1, 6, 2)); got != right {
+		t.Fatalf("SubtreeFor(leaf-sized query) = %v, want the right subtree", got.Desc.MBR())
+	}
+	if (*Layout)(nil).SubtreeFor(box2(0, 0, 1, 1)) != nil {
+		t.Fatal("nil layout must yield nil")
+	}
+}
+
+func TestSubtreeForStopsAboveIrregularNodes(t *testing.T) {
+	// right child is an irregular internal node: SubtreeFor must not
+	// descend into it even for a fully contained query.
+	leaf := func(d Descriptor) *Node {
+		return &Node{Desc: d, Part: &Partition{Desc: d}}
+	}
+	outer := box2(5, 0, 10, 10)
+	hole := box2(6, 4, 7, 6)
+	irr := &Node{Desc: NewIrregular(outer, []geom.Box{hole}), Children: []*Node{
+		leaf(NewIrregular(outer, []geom.Box{hole})),
+	}}
+	left := leaf(NewRect(box2(0, 0, 5, 10)))
+	root := &Node{Desc: NewRect(box2(0, 0, 10, 10)), Children: []*Node{left, irr}}
+	l := Seal("patch-test", root, 16)
+
+	if got := l.SubtreeFor(box2(8, 8, 9, 9)); got != l.Root {
+		t.Fatalf("SubtreeFor must stop above irregular descriptors, got %v", got.Desc.MBR())
+	}
+}

@@ -113,6 +113,29 @@ func (c *LRU[K, V]) Invalidate() {
 	c.head, c.tail = nil, nil
 }
 
+// Sweep visits every entry (in no particular order) and lets fn decide its
+// fate: return (v, true) to keep the entry with value v (possibly rewritten
+// in place), or (_, false) to drop it. Recency order and the hit/miss
+// counters are preserved for the survivors. It backs the master's
+// per-partition cache invalidation at migration cutover: entries touching
+// only renamed partitions are rewritten, entries touching the rebuilt region
+// are dropped, and everything else survives — wholesale Invalidate would
+// throw the whole working set away for a localized layout change.
+func (c *LRU[K, V]) Sweep(fn func(K, V) (V, bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.head; e != nil; {
+		next := e.next
+		if v, keep := fn(e.key, e.val); keep {
+			e.val = v
+		} else {
+			c.unlink(e)
+			delete(c.entries, e.key)
+		}
+		e = next
+	}
+}
+
 // Len returns the current entry count.
 func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paw/internal/dataset"
+	"paw/internal/geom"
+	"paw/internal/workload"
+)
+
+// Drifting-workload scenario family (DESIGN.md §13): deterministic query
+// streams whose distribution moves over time, for driving the drift monitor
+// and the migration path. Each scenario fixes a dataset, a historical
+// workload QH the layout is built from, and a phased live stream; everything
+// is a pure function of the scenario seed, so a failing stream reproduces
+// from its name exactly like the construction scenarios above.
+
+// DriftPhase is one segment of a drifting query stream: Queries boxes whose
+// centers are drawn uniformly from Region (given in fractional domain
+// coordinates) with half-extent SizeFrac × the domain extent per dimension.
+type DriftPhase struct {
+	Name    string
+	Queries int
+	// Region is the fractional sub-box of the domain the phase queries
+	// live in ([0,1] per dimension).
+	Region geom.Box
+	// SizeFrac is the query half-extent as a fraction of the domain extent.
+	SizeFrac float64
+	// Replay, when set, ignores Region/SizeFrac and replays historical
+	// queries instead, each offset by up to Jitter × the domain extent per
+	// dimension — live traffic that stays within the variance scope as
+	// long as Jitter is below δ.
+	Replay bool
+	// ReplaySubset restricts Replay to the first k historical queries
+	// (0 = all): a hotspot concentrating on part of QH.
+	ReplaySubset int
+	// Jitter is the Replay offset bound as a fraction of the domain extent.
+	Jitter float64
+}
+
+// DriftScenario is one deterministic drifting-workload setting.
+type DriftScenario struct {
+	Name string
+	Seed int64
+	// Data is the dataset the layout under drift serves.
+	Data *dataset.Dataset
+	// Hist is the historical workload QH the initial layout is built from.
+	Hist workload.Workload
+	// Delta is the declared variance scope δ (absolute units).
+	Delta float64
+	// Phases is the live stream, played in order. Later phases may leave
+	// QH's region (out-of-scope drift) or stay inside it (in-scope noise).
+	Phases []DriftPhase
+	// ExpectDrift declares whether the stream leaves the variance scope —
+	// the assertion a monitor test makes about the whole stream.
+	ExpectDrift bool
+}
+
+// frac returns the fractional 2-d box {lo0,lo1}–{hi0,hi1}.
+func frac(lo0, lo1, hi0, hi1 float64) geom.Box {
+	return geom.Box{Lo: geom.Point{lo0, lo1}, Hi: geom.Point{hi0, hi1}}
+}
+
+// DriftScenarios returns the deterministic drifting-workload family: a
+// sudden shift out of the historical region, a gradual sweep across the
+// domain, a hotspot that concentrates inside the historical region
+// (in-scope), and jitter within δ (in-scope). The in-scope members pin down
+// the monitor's false-positive behavior, the out-of-scope members its
+// detection.
+func DriftScenarios(baseSeed int64) []DriftScenario {
+	out := make([]DriftScenario, 0, 4)
+	for i, shape := range []struct {
+		name        string
+		histRegion  geom.Box
+		phases      []DriftPhase
+		expectDrift bool
+	}{
+		{
+			name:       "sudden-shift",
+			histRegion: frac(0, 0, 0.45, 1),
+			phases: []DriftPhase{
+				{Name: "steady", Queries: 64, Region: frac(0, 0, 0.45, 1), SizeFrac: 0.08},
+				{Name: "shifted", Queries: 64, Region: frac(0.6, 0.1, 0.95, 0.9), SizeFrac: 0.03},
+			},
+			expectDrift: true,
+		},
+		{
+			name:       "gradual-sweep",
+			histRegion: frac(0, 0, 0.45, 1),
+			phases: []DriftPhase{
+				{Name: "steady", Queries: 48, Region: frac(0, 0, 0.45, 1), SizeFrac: 0.08},
+				{Name: "edge", Queries: 32, Region: frac(0.35, 0, 0.65, 1), SizeFrac: 0.05},
+				{Name: "far", Queries: 48, Region: frac(0.6, 0, 0.95, 1), SizeFrac: 0.03},
+			},
+			expectDrift: true,
+		},
+		{
+			name:       "in-scope-hotspot",
+			histRegion: frac(0, 0, 0.45, 1),
+			phases: []DriftPhase{
+				{Name: "steady", Queries: 48, Replay: true, Jitter: 0.01},
+				{Name: "hotspot", Queries: 64, Replay: true, ReplaySubset: 5, Jitter: 0.01},
+			},
+			expectDrift: false,
+		},
+		{
+			name:       "in-scope-jitter",
+			histRegion: frac(0, 0, 0.45, 1),
+			phases: []DriftPhase{
+				{Name: "steady", Queries: 96, Replay: true, Jitter: 0.015},
+			},
+			expectDrift: false,
+		},
+	} {
+		seed := baseSeed + int64(i)*211
+		data := dataset.Uniform(2400+i*400, 2, seed)
+		dom := data.Domain()
+		hist := workload.Uniform(scaleFrac(dom, shape.histRegion), workload.Defaults(30, seed+1))
+		sc := DriftScenario{
+			Name:        fmt.Sprintf("drift-%s", shape.name),
+			Seed:        seed,
+			Data:        data,
+			Hist:        hist,
+			Delta:       0.02 * minExtent(dom),
+			Phases:      shape.phases,
+			ExpectDrift: shape.expectDrift,
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// scaleFrac maps a fractional box onto the domain.
+func scaleFrac(dom, f geom.Box) geom.Box {
+	lo := make(geom.Point, dom.Dims())
+	hi := make(geom.Point, dom.Dims())
+	for d := 0; d < dom.Dims(); d++ {
+		ext := dom.Hi[d] - dom.Lo[d]
+		fl, fh := 0.0, 1.0
+		if d < f.Dims() {
+			fl, fh = f.Lo[d], f.Hi[d]
+		}
+		lo[d] = dom.Lo[d] + fl*ext
+		hi[d] = dom.Lo[d] + fh*ext
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+// Stream materialises the scenario's live query boxes, phase by phase in
+// order — a pure function of the scenario seed.
+func (s DriftScenario) Stream() []geom.Box {
+	rng := rand.New(rand.NewSource(s.Seed + 7))
+	dom := s.Data.Domain()
+	var out []geom.Box
+	for _, ph := range s.Phases {
+		if ph.Replay {
+			pool := len(s.Hist)
+			if ph.ReplaySubset > 0 && ph.ReplaySubset < pool {
+				pool = ph.ReplaySubset
+			}
+			for i := 0; i < ph.Queries; i++ {
+				src := s.Hist[rng.Intn(pool)].Box
+				lo := make(geom.Point, dom.Dims())
+				hi := make(geom.Point, dom.Dims())
+				for d := 0; d < dom.Dims(); d++ {
+					ext := dom.Hi[d] - dom.Lo[d]
+					off := (rng.Float64()*2 - 1) * ph.Jitter * ext
+					lo[d], hi[d] = src.Lo[d]+off, src.Hi[d]+off
+				}
+				out = append(out, geom.Box{Lo: lo, Hi: hi})
+			}
+			continue
+		}
+		region := scaleFrac(dom, ph.Region)
+		for i := 0; i < ph.Queries; i++ {
+			lo := make(geom.Point, dom.Dims())
+			hi := make(geom.Point, dom.Dims())
+			for d := 0; d < dom.Dims(); d++ {
+				ext := dom.Hi[d] - dom.Lo[d]
+				half := ph.SizeFrac * ext / 2
+				c := region.Lo[d] + rng.Float64()*(region.Hi[d]-region.Lo[d])
+				lo[d], hi[d] = c-half, c+half
+			}
+			out = append(out, geom.Box{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// PhaseOffsets returns the index into Stream() where each phase starts,
+// plus the total length as a final element — so a driver can segment the
+// stream back into named phases.
+func (s DriftScenario) PhaseOffsets() []int {
+	out := make([]int, 0, len(s.Phases)+1)
+	n := 0
+	for _, ph := range s.Phases {
+		out = append(out, n)
+		n += ph.Queries
+	}
+	return append(out, n)
+}

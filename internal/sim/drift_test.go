@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"paw/internal/workload"
+)
+
+// The drifting-workload family must be deterministic, well-formed, and
+// honest about its ExpectDrift labels: the final phase of an out-of-scope
+// scenario must estimate δ′ > δ against QH, and an in-scope scenario must
+// stay within δ for its whole stream.
+
+func TestDriftScenariosDeterministic(t *testing.T) {
+	a, b := DriftScenarios(42), DriftScenarios(42)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("family sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		sa, sb := a[i].Stream(), b[i].Stream()
+		if len(sa) != len(sb) {
+			t.Fatalf("%s: stream lengths differ", a[i].Name)
+		}
+		for j := range sa {
+			if !sa[j].Equal(sb[j]) {
+				t.Fatalf("%s: query %d differs across runs", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestDriftScenariosWellFormed(t *testing.T) {
+	for _, sc := range DriftScenarios(42) {
+		stream := sc.Stream()
+		offs := sc.PhaseOffsets()
+		if offs[len(offs)-1] != len(stream) {
+			t.Fatalf("%s: offsets claim %d queries, stream has %d", sc.Name, offs[len(offs)-1], len(stream))
+		}
+		dom := sc.Data.Domain()
+		for i, b := range stream {
+			if b.Dims() != dom.Dims() {
+				t.Fatalf("%s: query %d has %d dims, domain %d", sc.Name, i, b.Dims(), dom.Dims())
+			}
+			if !b.Intersects(dom) {
+				t.Fatalf("%s: query %d (%v) misses the domain entirely", sc.Name, i, b)
+			}
+		}
+		if len(sc.Hist) == 0 {
+			t.Fatalf("%s: empty historical workload", sc.Name)
+		}
+	}
+}
+
+func TestDriftScenariosHonorExpectDrift(t *testing.T) {
+	for _, sc := range DriftScenarios(42) {
+		stream := sc.Stream()
+		offs := sc.PhaseOffsets()
+		// The last phase is the stream's steady state: its δ′ against QH
+		// decides whether the scenario left the variance scope.
+		last := stream[offs[len(offs)-2]:]
+		live := make(workload.Workload, len(last))
+		for i, b := range last {
+			live[i] = workload.Query{Box: b, Seq: int64(i)}
+		}
+		est := workload.DirectedDelta(sc.Hist, live)
+		if sc.ExpectDrift && est <= sc.Delta {
+			t.Errorf("%s: labeled drifting but final phase δ′=%g <= δ=%g", sc.Name, est, sc.Delta)
+		}
+		if !sc.ExpectDrift && est > sc.Delta {
+			t.Errorf("%s: labeled in-scope but final phase δ′=%g > δ=%g", sc.Name, est, sc.Delta)
+		}
+	}
+}

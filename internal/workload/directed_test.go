@@ -1,0 +1,60 @@
+package workload
+
+import "testing"
+
+// DirectedDelta is the drift monitor's estimator: the directed Hausdorff
+// distance from the live window to the reference workload under the corner
+// metric Dist. Exact values are easy to state on hand-built queries.
+
+func TestDirectedDeltaIdentical(t *testing.T) {
+	ref := Workload{q2(0, 0, 1, 1), q2(2, 2, 3, 3)}
+	if got := DirectedDelta(ref, ref); got != 0 {
+		t.Fatalf("δ′ of a replayed workload = %g, want 0", got)
+	}
+}
+
+func TestDirectedDeltaEmpty(t *testing.T) {
+	ref := Workload{q2(0, 0, 1, 1)}
+	if got := DirectedDelta(ref, nil); got != 0 {
+		t.Fatalf("δ′ with empty live = %g, want 0", got)
+	}
+	if got := DirectedDelta(nil, ref); got != 0 {
+		t.Fatalf("δ′ with empty ref = %g, want 0", got)
+	}
+}
+
+func TestDirectedDeltaShiftedQuery(t *testing.T) {
+	ref := Workload{q2(0, 0, 1, 1)}
+	// Shift by 0.25 in x: the max corner displacement is 0.25.
+	live := Workload{q2(0.25, 0, 1.25, 1)}
+	if got := DirectedDelta(ref, live); got != 0.25 {
+		t.Fatalf("δ′ = %g, want 0.25", got)
+	}
+}
+
+func TestDirectedDeltaMaxOverLive(t *testing.T) {
+	// The estimate is the worst live query, not the average: one far query
+	// dominates many replays.
+	ref := Workload{q2(0, 0, 1, 1)}
+	live := Workload{q2(0, 0, 1, 1), q2(0, 0, 1, 1), q2(3, 0, 4, 1)}
+	if got := DirectedDelta(ref, live); got != 3 {
+		t.Fatalf("δ′ = %g, want 3", got)
+	}
+}
+
+func TestDirectedDeltaNearestReferenceWins(t *testing.T) {
+	// Each live query matches its nearest reference: a window replaying
+	// either reference cluster stays at 0 even though the clusters are far
+	// apart.
+	ref := Workload{q2(0, 0, 1, 1), q2(10, 10, 11, 11)}
+	live := Workload{q2(10, 10, 11, 11), q2(0, 0, 1, 1)}
+	if got := DirectedDelta(ref, live); got != 0 {
+		t.Fatalf("δ′ = %g, want 0", got)
+	}
+	// Moving one live query half-way between the clusters measures the
+	// distance to the closer one.
+	live = Workload{q2(4, 0, 5, 1)}
+	if got := DirectedDelta(ref, live); got != 4 {
+		t.Fatalf("δ′ = %g, want 4 (nearest is the origin cluster)", got)
+	}
+}

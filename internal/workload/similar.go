@@ -71,10 +71,26 @@ func EstimateDelta(hist Workload) (float64, error) {
 		return 0, fmt.Errorf("workload: need at least 2 queries to estimate delta, have %d", len(hist))
 	}
 	h1, h2 := hist.SplitHalves()
+	return DirectedDelta(h1, h2), nil
+}
+
+// DirectedDelta returns the directed Hausdorff distance from live to ref
+// under the Definition 1 query metric: the largest distance any live query
+// must travel to reach its nearest reference query. It is Definition 2's δ
+// without the capacity condition — the same relaxation EstimateDelta applies
+// to history halves — and is what the drift monitor evaluates online: a live
+// window whose DirectedDelta against the historical workload exceeds the
+// layout's δ contains queries no Q*F extension accounted for. Empty inputs
+// yield 0 (an empty live window has drifted nowhere; an empty reference
+// would make every distance infinite, which no finite δ comparison wants).
+func DirectedDelta(ref, live Workload) float64 {
+	if len(ref) == 0 || len(live) == 0 {
+		return 0
+	}
 	est := 0.0
-	for _, q := range h2 {
+	for _, q := range live {
 		nn := math.Inf(1)
-		for _, p := range h1 {
+		for _, p := range ref {
 			if d := Dist(q, p); d < nn {
 				nn = d
 			}
@@ -83,7 +99,7 @@ func EstimateDelta(hist Workload) (float64, error) {
 			est = nn
 		}
 	}
-	return est, nil
+	return est
 }
 
 // EstimateDeltaStrict is the literal §IV-E procedure: the minimal δ′ making
