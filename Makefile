@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving bench-drift obs-demo
+.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving bench-drift obs-demo trace-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -22,12 +22,13 @@ test:
 
 # race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild),
 # the concurrent routing/costing paths (layout batch sweeps, router, tuner),
-# the benchmark harness, the invariant/simulation suites and the online
+# the benchmark harness, the invariant/simulation suites, the online
 # reorganization path (ingest, adaptive baseline, drift monitor + migration)
-# under the race detector in short mode. Any new fan-out point must pass this
+# and the tracing substrate (spans assemble across scatter goroutines) under
+# the race detector in short mode. Any new fan-out point must pass this
 # before merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/... ./internal/adaptive/... ./internal/ingest/... ./internal/drift/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/... ./internal/adaptive/... ./internal/ingest/... ./internal/drift/... ./internal/trace/...
 
 # chaos runs the deterministic fault-injection suite (DESIGN.md §10) under
 # the race detector: every TestChaos* scenario drives the distributed path
@@ -93,3 +94,11 @@ bench-drift:
 obs-demo:
 	$(GO) run ./cmd/pawcli build -rows 40000 -report build_report.json
 	$(GO) run ./cmd/pawcli stats build_report.json
+
+# trace-demo exercises the distributed tracing pipeline end to end: the
+# distributed example runs with every query traced, prints an EXPLAIN
+# ANALYZE span tree, and writes the /traces JSON document (recent traces +
+# latency exemplars) and the schema-versioned JSONL cost-record log — the
+# artifacts the CI telemetry job uploads.
+trace-demo:
+	$(GO) run ./examples/distributed -trace-out cost_records.jsonl -traces-dump traces.json

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +36,7 @@ import (
 	"paw/internal/obs"
 	"paw/internal/placement"
 	"paw/internal/router"
+	"paw/internal/trace"
 	"paw/internal/workload"
 )
 
@@ -44,8 +46,13 @@ func main() {
 		layoutPath = flag.String("layout", "", "layout file (.pawl)")
 		workers    = flag.String("workers", "", "comma-separated worker addresses")
 		listen     = flag.String("listen", "127.0.0.1:7100", "client listen address")
-		metrics    = flag.String("metrics", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof on this address (e.g. 127.0.0.1:9090); empty disables")
+		metrics    = flag.String("metrics", "", "serve /metrics (Prometheus text or ?format=json), /traces, /healthz, /readyz and /debug/pprof on this address (e.g. 127.0.0.1:9090); empty disables")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		traceSample = flag.Int("trace-sample", 0, "sample one query trace in every N (0: only forced EXPLAIN traces; needs -metrics for /traces)")
+		traceBuf    = flag.Int("trace-buf", 64, "finished traces retained for /traces")
+		traceOut    = flag.String("trace-out", "", "append one JSONL cost record per query to this file (schema "+trace.CostRecordSchema+")")
+		slowQuery   = flag.Duration("slow-query", 0, "log a structured slow-query record for queries at or above this latency (0: off)")
 
 		replicas     = flag.Int("replicas", 1, "copies per partition; replica r of partition p lives on worker (p+r) mod workers (pawworker needs the same value)")
 		partial      = flag.Bool("partial", false, "answer from surviving replicas when a partition is lost instead of failing the query")
@@ -136,6 +143,7 @@ func main() {
 		CallTimeout:  *callTimeout,
 		QueryTimeout: *queryTimeout,
 		AllowPartial: *partial,
+		SlowQuery:    *slowQuery,
 
 		Transport:          transportFlag(*gobTransport),
 		ConnsPerWorker:     *connsPerWorker,
@@ -145,6 +153,23 @@ func main() {
 		MaxInflightQueries: *maxInflight,
 		MaxQueuedPerClient: *maxQueued,
 	})
+	// The tracer exists whenever traces can be produced: by sampling
+	// (-trace-sample) or on demand (pawsql -explain always works, but only a
+	// tracer retains those traces for /traces).
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *metrics != "" {
+		tracer = trace.New(trace.Config{SampleEvery: *traceSample, Capacity: *traceBuf})
+		m.SetTracer(tracer)
+	}
+	if *traceOut != "" {
+		cf, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("opening -trace-out: %v", err)
+		}
+		costLog := trace.NewCostLog(cf)
+		m.SetCostLog(costLog)
+		defer costLog.Close()
+	}
 	var reg *obs.Registry
 	if *metrics != "" {
 		// One registry for all layers: routing (latency histogram,
@@ -153,12 +178,17 @@ func main() {
 		reg = obs.New()
 		rm.SetMetrics(reg)
 		m.SetMetrics(reg)
-		srv, err := obs.Serve(*metrics, reg)
+		srv, err := obs.ServeWith(*metrics, reg, map[string]http.Handler{
+			"/traces":  trace.Handler(tracer),
+			"/healthz": obs.Healthz(),
+			"/readyz":  obs.Readyz(m.Ready),
+		})
 		if err != nil {
 			fatalf("metrics listener: %v", err)
 		}
 		defer srv.Close()
 		slog.Info("telemetry enabled", "metrics", "http://"+srv.Addr()+"/metrics",
+			"traces", "http://"+srv.Addr()+"/traces",
 			"pprof", "http://"+srv.Addr()+"/debug/pprof/")
 	}
 	if *driftOn {
@@ -187,6 +217,7 @@ func main() {
 			Seed:       *driftSeed,
 		})
 		ctl.SetMetrics(reg)
+		ctl.SetTracer(tracer)
 		ctl.Attach(true)
 		defer ctl.Detach()
 		slog.Info("drift monitor attached", "window", *driftWindow, "check_every", *driftCheck,

@@ -3,8 +3,14 @@
 // with -concurrency.
 //
 //	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t WHERE l_quantity >= 10"
+//	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t WHERE l_quantity >= 10" -explain
 //	pawsql -connect 127.0.0.1:7100 -timeout 2s -partial
 //	pawsql -connect 127.0.0.1:7100 -sql "SELECT * FROM t" -concurrency 16 -duration 10s
+//
+// -explain runs the statement as EXPLAIN ANALYZE: the master forces a trace
+// (even with tracing disabled) and the client renders the returned span tree
+// — routing, per-range scatter, per-attempt RPCs, and each touched worker's
+// per-partition scan spans with rows/bytes/zone-skipping/encoding-mix detail.
 //
 // Load mode speaks the multiplexed binary protocol: all in-flight queries
 // pipeline over one connection, so the driver measures the serving path, not
@@ -24,12 +30,14 @@ import (
 	"time"
 
 	"paw/internal/dist"
+	"paw/internal/trace"
 )
 
 func main() {
 	var (
 		connect     = flag.String("connect", "127.0.0.1:7100", "master address")
 		sql         = flag.String("sql", "", "one-shot SQL statement (empty: REPL)")
+		explain     = flag.Bool("explain", false, "EXPLAIN ANALYZE: run the statement with a forced trace and print its span tree")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline, shipped to the master and enforced on every worker scan (0: master default)")
 		partial     = flag.Bool("partial", false, "accept partial results when partitions are unreachable (failed partitions are reported)")
 		concurrency = flag.Int("concurrency", 0, "load mode: run -sql from this many goroutines over one multiplexed connection and report qps/p50/p99")
@@ -61,7 +69,14 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 		}
 		start := time.Now()
-		resp, err := c.QueryContext(ctx, stmt)
+		var resp dist.QueryResponse
+		var err error
+		if *explain {
+			resp, err = c.Explain(ctx, stmt)
+		} else {
+			resp, err = c.QueryContext(ctx, stmt)
+		}
+		wall := time.Since(start)
 		cancel()
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
@@ -72,9 +87,12 @@ func main() {
 			}
 			return
 		}
+		if *explain {
+			trace.WriteTree(os.Stdout, resp.TraceID, resp.Spans)
+		}
 		fmt.Printf("%d rows (%d sub-queries, %d partitions, %.2f MB read) in %v\n",
 			resp.Rows, resp.SubQueries, resp.PartitionsScanned,
-			float64(resp.BytesScanned)/1e6, time.Since(start).Round(time.Microsecond))
+			float64(resp.BytesScanned)/1e6, wall.Round(time.Microsecond))
 		if resp.Partial {
 			fmt.Printf("PARTIAL: %d partition(s) unreachable: %v\n",
 				len(resp.FailedPartitions), resp.FailedPartitions)

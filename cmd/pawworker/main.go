@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -33,7 +34,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "total worker count")
 		replicas   = flag.Int("replicas", 1, "copies per partition; this worker hosts partition p when (p+r) mod workers == index for some r < replicas (match pawmaster)")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
-		metrics    = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address; empty disables")
+		metrics    = flag.String("metrics", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address; empty disables")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -66,7 +67,10 @@ func main() {
 	if *metrics != "" {
 		reg := obs.New()
 		w.SetMetrics(reg)
-		srv, err := obs.Serve(*metrics, reg)
+		srv, err := obs.ServeWith(*metrics, reg, map[string]http.Handler{
+			"/healthz": obs.Healthz(),
+			"/readyz":  obs.Readyz(w.Ready),
+		})
 		if err != nil {
 			fatalf("metrics listener: %v", err)
 		}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"time"
 
 	"paw"
@@ -23,12 +26,15 @@ import (
 	"paw/internal/obs"
 	"paw/internal/placement"
 	"paw/internal/router"
+	"paw/internal/trace"
 	"paw/internal/workload"
 )
 
 func main() {
-	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090); empty disables")
+	metrics := flag.String("metrics", "", "serve /metrics, /traces, /healthz, /readyz and /debug/pprof on this address (e.g. :9090); empty disables")
 	hold := flag.Bool("hold", false, "keep the cluster running after the demo queries (ctrl-C to exit)")
+	traceOut := flag.String("trace-out", "", "write the per-query JSONL cost records to this file")
+	tracesDump := flag.String("traces-dump", "", "after the demo, write the /traces JSON document (recent traces + exemplars) to this file")
 	flag.Parse()
 
 	const workers = 4
@@ -91,17 +97,35 @@ func main() {
 	cfg := dist.DefaultConfig()
 	cfg.CallTimeout = 2 * time.Second
 	cfg.Retry.BaseBackoff = 5 * time.Millisecond
+	cfg.SlowQuery = 250 * time.Millisecond
 	m.Configure(cfg)
 	reg := obs.New()
 	rm.SetMetrics(reg)
 	m.SetMetrics(reg)
+	// Trace every query: the demo is tiny, and the dump/exemplars are the
+	// point. Production would sample (e.g. SampleEvery: 100).
+	tracer := trace.New(trace.Config{SampleEvery: 1})
+	m.SetTracer(tracer)
+	if *traceOut != "" {
+		cf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		costLog := trace.NewCostLog(cf)
+		m.SetCostLog(costLog)
+		defer costLog.Close()
+	}
 	if *metrics != "" {
-		srv, err := obs.Serve(*metrics, reg)
+		srv, err := obs.ServeWith(*metrics, reg, map[string]http.Handler{
+			"/traces":  trace.Handler(tracer),
+			"/healthz": obs.Healthz(),
+			"/readyz":  obs.Readyz(m.Ready),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: curl http://%s/metrics\n", srv.Addr())
+		fmt.Printf("telemetry: curl http://%s/metrics (also /traces, /healthz, /readyz)\n", srv.Addr())
 	}
 	maddr, err := m.Start("127.0.0.1:0")
 	if err != nil {
@@ -127,6 +151,17 @@ func main() {
 		fmt.Printf("%s\n  -> %d rows from %d partitions (%.2f MB over the wire-side scans)\n",
 			sql, resp.Rows, resp.PartitionsScanned, float64(resp.BytesScanned)/1e6)
 	}
+
+	// EXPLAIN ANALYZE: force a trace and render the span tree — routing,
+	// per-range scatter, per-worker RPCs, and each worker's per-partition
+	// scan spans with bytes read/skipped and the encoding mix.
+	fmt.Println("\nEXPLAIN ANALYZE SELECT * FROM lineitem WHERE l_quantity >= 30 AND l_quantity <= 35")
+	eresp, err := client.Explain(context.Background(),
+		"SELECT * FROM lineitem WHERE l_quantity >= 30 AND l_quantity <= 35")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace.WriteTree(os.Stdout, eresp.TraceID, eresp.Spans)
 
 	// Failover demo: kill one worker and re-run a query from a client that
 	// opted into partial results. Partitions whose primary died are scanned
@@ -155,6 +190,20 @@ func main() {
 		fmt.Println("  -> exact: every lost partition had a replica")
 	}
 	fmt.Printf("\nquery log captured %d range queries for the next rebuild\n", qlog.Len())
+
+	if *tracesDump != "" {
+		df, err := os.Create(*tracesDump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSON(df, tracer); err != nil {
+			log.Fatal(err)
+		}
+		if err := df.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traces dump (the /traces document) written to %s\n", *tracesDump)
+	}
 
 	if *hold {
 		fmt.Println("holding cluster open; inspect /metrics, ctrl-C to exit")

@@ -167,6 +167,15 @@ type ScanStats struct {
 	// GroupsZoneSkipped is the subset of GroupsSkipped rejected by the
 	// feature-vector zone maps rather than the min/max envelope.
 	GroupsZoneSkipped int
+	// ColsRaw..ColsFOR count the column chunks actually decoded, by
+	// physical encoding — the encoding mix of the scan's real work
+	// (predicate columns touched plus covered columns materialized). The
+	// naive oracle decodes every column of every surviving group, so its
+	// mix is the table's encoding census, not the kernel's.
+	ColsRaw  int
+	ColsDict int
+	ColsRLE  int
+	ColsFOR  int
 }
 
 // Add accumulates other into st (used when merging per-partition or
@@ -179,6 +188,10 @@ func (st *ScanStats) Add(other ScanStats) {
 	st.GroupsRead += other.GroupsRead
 	st.GroupsSkipped += other.GroupsSkipped
 	st.GroupsZoneSkipped += other.GroupsZoneSkipped
+	st.ColsRaw += other.ColsRaw
+	st.ColsDict += other.ColsDict
+	st.ColsRLE += other.ColsRLE
+	st.ColsFOR += other.ColsFOR
 }
 
 // Scan evaluates the range query q with the vectorized kernels and returns

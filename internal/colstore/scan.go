@@ -128,6 +128,7 @@ func (s *Scanner) scanGroup(g *rowGroup, q geom.Box, materialize bool, st *ScanS
 			}
 			s.touched[d] = true
 			read += b
+			st.tallyEncoding(c.kind)
 			if len(sel) == 0 {
 				break
 			}
@@ -151,12 +152,27 @@ func (s *Scanner) scanGroup(g *rowGroup, q geom.Box, materialize bool, st *ScanS
 				// Covered columns are decoded here for the first time;
 				// predicate columns were already accounted above.
 				read += c.valueBytes(len(sel))
+				st.tallyEncoding(c.kind)
 			}
 		}
 		st.RowsDecoded += int64(len(sel))
 	}
 	s.sel = sel[:0]
 	return read
+}
+
+// tallyEncoding counts one decoded column chunk under its physical encoding.
+func (st *ScanStats) tallyEncoding(k colKind) {
+	switch k {
+	case colDict:
+		st.ColsDict++
+	case colRLE:
+		st.ColsRLE++
+	case colFOR:
+		st.ColsFOR++
+	default:
+		st.ColsRaw++
+	}
 }
 
 // anyMatch reports whether any row of group gi satisfies q; used to build
@@ -214,6 +230,7 @@ func (t *Table) naiveScan(q geom.Box, emit func(cols [][]float64, i, dims int)) 
 			}
 			cols[d] = cols[d][:g.rows]
 			g.cols[d].decodeInto(cols[d])
+			st.tallyEncoding(g.cols[d].kind)
 		}
 	rowLoop:
 		for i := 0; i < g.rows; i++ {

@@ -7,6 +7,7 @@ import (
 
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/trace"
 )
 
 // Binary codecs for the wire messages carried by the serve frame protocol
@@ -159,6 +160,67 @@ func (r *reader) ids() []layout.ID {
 	return out
 }
 
+// appendSpans appends a trace-span list: uint32 count, then per span the
+// IDs, name, clock fields and a uint16-counted attr list of (key byte,
+// int64 value) pairs.
+func appendSpans(buf []byte, spans []trace.Span) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spans)))
+	for i := range spans {
+		sp := &spans[i]
+		buf = binary.LittleEndian.AppendUint32(buf, sp.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, sp.Parent)
+		buf = appendString(buf, sp.Name)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.Dur))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sp.Attrs)))
+		for _, a := range sp.Attrs {
+			buf = append(buf, byte(a.K))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(a.V))
+		}
+	}
+	return buf
+}
+
+// spans decodes a trace-span list appended by appendSpans.
+func (r *reader) spans() []trace.Span {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.buf)-r.off {
+		// Each span costs ≥ 26 bytes; the count bound rejects hostile
+		// lengths before allocating.
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]trace.Span, 0, n)
+	for i := 0; i < n; i++ {
+		var sp trace.Span
+		sp.ID = r.u32()
+		sp.Parent = r.u32()
+		sp.Name = r.str()
+		sp.Start = r.i64()
+		sp.Dur = r.i64()
+		na := int(r.u16())
+		if r.err != nil || na*9 > len(r.buf)-r.off {
+			r.fail()
+			return nil
+		}
+		if na > 0 {
+			sp.Attrs = make([]trace.Attr, na)
+			for j := range sp.Attrs {
+				sp.Attrs[j].K = trace.Key(r.u8())
+				sp.Attrs[j].V = r.i64()
+			}
+		}
+		out = append(out, sp)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
 // AppendWire encodes the request for the frame protocol.
 func (q *ScanRequest) AppendWire(buf []byte) []byte {
 	buf = appendBox(buf, q.Query)
@@ -169,6 +231,7 @@ func (q *ScanRequest) AppendWire(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, q.Seq)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(q.Deadline))
 	buf = binary.LittleEndian.AppendUint64(buf, q.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, q.TraceID)
 	return buf
 }
 
@@ -180,6 +243,7 @@ func (q *ScanRequest) UnmarshalWire(data []byte) error {
 	q.Seq = r.u64()
 	q.Deadline = r.i64()
 	q.Epoch = r.u64()
+	q.TraceID = r.u64()
 	return r.err
 }
 
@@ -239,6 +303,7 @@ func (s *ScanResponse) AppendWire(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(s.GroupsZoneSkipped)))
 	buf = appendString(buf, s.Err)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.FailedPartition))
+	buf = appendSpans(buf, s.Spans)
 	return buf
 }
 
@@ -253,6 +318,7 @@ func (s *ScanResponse) UnmarshalWire(data []byte) error {
 	s.GroupsZoneSkipped = int(r.i64())
 	s.Err = r.str()
 	s.FailedPartition = r.i64()
+	s.Spans = r.spans()
 	return r.err
 }
 
@@ -264,6 +330,9 @@ func (q *QueryRequest) AppendWire(buf []byte) []byte {
 	if q.AllowPartial {
 		flags |= 1
 	}
+	if q.Trace {
+		flags |= 2
+	}
 	return append(buf, flags)
 }
 
@@ -272,7 +341,9 @@ func (q *QueryRequest) UnmarshalWire(data []byte) error {
 	r := reader{buf: data}
 	q.SQL = r.str()
 	q.TimeoutMillis = r.i64()
-	q.AllowPartial = r.u8()&1 != 0
+	flags := r.u8()
+	q.AllowPartial = flags&1 != 0
+	q.Trace = flags&2 != 0
 	return r.err
 }
 
@@ -294,6 +365,8 @@ func (q *QueryResponse) AppendWire(buf []byte) []byte {
 	for _, id := range q.FailedPartitions {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
 	}
+	buf = binary.LittleEndian.AppendUint64(buf, q.TraceID)
+	buf = appendSpans(buf, q.Spans)
 	return buf
 }
 
@@ -309,5 +382,7 @@ func (q *QueryResponse) UnmarshalWire(data []byte) error {
 	q.ErrCode = int(r.u32())
 	q.Partial = r.u8()&1 != 0
 	q.FailedPartitions = r.ids()
+	q.TraceID = r.u64()
+	q.Spans = r.spans()
 	return r.err
 }

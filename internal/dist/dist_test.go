@@ -21,6 +21,7 @@ type testCluster struct {
 	layout  *layout.Layout
 	workers []*Worker
 	master  *Master
+	maddr   string
 	client  *Client
 }
 
@@ -62,6 +63,7 @@ func startCluster(t *testing.T, nWorkers int) *testCluster {
 		t.Fatal(err)
 	}
 	tc.master = m
+	tc.maddr = maddr
 	cl, err := Dial(maddr)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"paw/internal/placement"
 	"paw/internal/router"
 	"paw/internal/serve"
+	"paw/internal/trace"
 )
 
 // Config tunes the master's failure handling and serving front-end. The
@@ -37,6 +39,10 @@ type Config struct {
 	// directly on the master; networked clients opt in per request
 	// (QueryRequest.AllowPartial).
 	AllowPartial bool
+	// SlowQuery emits a structured slog record for any query whose
+	// end-to-end latency reaches the threshold (trace ID when sampled, stage
+	// breakdown, partitions touched). 0 disables the slow-query log.
+	SlowQuery time.Duration
 
 	// Transport selects the worker wire protocol: TransportBinary (the
 	// multiplexed frame protocol, default) or TransportGob (the legacy
@@ -121,6 +127,12 @@ type Master struct {
 	// observer, when set, sees every served query (SetQueryObserver) — the
 	// drift monitor's feed.
 	observer atomic.Pointer[func(QueryObservation)]
+	// tracer/costLog are the optional observability sinks (SetTracer,
+	// SetCostLog): sampled query traces and the JSONL cost-record log
+	// (DESIGN.md §14). Both default to nil, which costs the query path two
+	// atomic loads and nothing else.
+	tracer  atomic.Pointer[trace.Tracer]
+	costLog atomic.Pointer[trace.CostLog]
 
 	cfg      Config
 	jit      *jitter
@@ -233,6 +245,31 @@ func (m *Master) observe(plan router.Plan, resp *QueryResponse, epoch uint64, ca
 	(*f)(ob)
 }
 
+// SetTracer installs (or, with nil, removes) the query tracer. Sampled
+// queries record a full span tree — admission, routing, per-range scatter,
+// per-attempt RPCs and the workers' per-partition scan spans — retained in
+// the tracer's ring buffer and exposed over /traces.
+func (m *Master) SetTracer(tr *trace.Tracer) { m.tracer.Store(tr) }
+
+// SetCostLog installs (or, with nil, removes) the JSONL cost-record log:
+// one schema-versioned record per query (layout features, query shape,
+// measured stage costs) — training data for a learned cost model.
+func (m *Master) SetCostLog(l *trace.CostLog) { m.costLog.Store(l) }
+
+// traceFor starts a trace for one query: the tracer's sampling decision,
+// forced for EXPLAIN. A forced trace on a master with tracing disabled is
+// recorded locally (never retained) so EXPLAIN always works.
+func (m *Master) traceFor(force bool) *trace.T {
+	tr := m.tracer.Load()
+	if t := tr.Sample(force); t != nil {
+		return t
+	}
+	if force && tr == nil {
+		return trace.NewLocal()
+	}
+	return nil
+}
+
 // Configure replaces the failure-handling and serving configuration. Zero
 // fields of the retry policy and the serving knobs fall back to their
 // defaults; caches and admission control stay off when their sizes are 0.
@@ -335,8 +372,13 @@ func (e errWorkerUnhealthy) Error() string {
 // A failure whose request never reached the wire (serve.NotSentError — a
 // deadline that expired while queued) leaves the link in place; any other
 // failure drops it for a redial, because the stream state is unknown.
-func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *ScanResponse, budget *atomic.Int64) error {
+//
+// When the query is traced (tq non-nil), every attempt records an "rpc" span
+// under parent — so retries and failovers are visible as sibling spans — and
+// the worker's trace fragment attaches under the succeeding attempt's span.
+func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *ScanResponse, budget *atomic.Int64, tq *trace.T, parent trace.SpanRef, round int) error {
 	req.Seq = m.seq.Add(1)
+	req.TraceID = tq.ID()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -348,6 +390,15 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 		}
 		if probe {
 			m.m.breakerProbes.Inc()
+		}
+		rpc := tq.Start("rpc", parent)
+		rpc.Int(trace.KeyWorker, int64(w))
+		rpc.Int(trace.KeyPartitions, int64(len(req.IDs)))
+		if attempt > 0 {
+			rpc.Int(trace.KeyAttempt, int64(attempt))
+		}
+		if round > 0 {
+			rpc.Int(trace.KeyFailoverRound, int64(round))
 		}
 		cctx := ctx
 		cancel := func() {}
@@ -366,9 +417,15 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 		}
 		cancel()
 		if err == nil {
+			if tq != nil && len(resp.Spans) > 0 {
+				tq.Attach(rpc, resp.Spans)
+			}
+			rpc.End()
 			m.breakers[w].success()
 			return nil
 		}
+		rpc.Int(trace.KeyError, 1)
+		rpc.End()
 		if serve.IsNotSent(err) {
 			// The link was never touched (clean expiry while queued): keep
 			// it — redialing would churn a healthy connection and poison the
@@ -432,7 +489,40 @@ func (m *Master) Query(sql string) (QueryResponse, error) {
 // every scatter RPC down to the workers' scan loops, and a cancellation
 // interrupts in-flight calls.
 func (m *Master) QueryContext(ctx context.Context, sql string) (QueryResponse, error) {
-	return m.query(ctx, localClient, sql, m.cfg.AllowPartial)
+	return m.query(ctx, localClient, sql, m.cfg.AllowPartial, false)
+}
+
+// Explain runs one SQL statement with a forced trace (EXPLAIN ANALYZE): the
+// response carries the full span tree — admission, routing, per-range
+// scatter, per-attempt RPCs, and per-partition scan spans from every touched
+// worker. Works whether or not a tracer is installed.
+func (m *Master) Explain(sql string) (QueryResponse, error) {
+	return m.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain under a caller-supplied context.
+func (m *Master) ExplainContext(ctx context.Context, sql string) (QueryResponse, error) {
+	return m.query(ctx, localClient, sql, m.cfg.AllowPartial, true)
+}
+
+// Ready reports whether the master can serve queries at full fidelity:
+// started, not closed, and not mid-migration (a cutover in progress means
+// routing is double-resolving while placements change underneath — load
+// balancers should prefer settled masters). The string explains a false.
+func (m *Master) Ready() (bool, string) {
+	m.mu.Lock()
+	started, closed := m.listener != nil, m.closed
+	m.mu.Unlock()
+	if closed {
+		return false, "master is closed"
+	}
+	if !started {
+		return false, "master is not serving yet"
+	}
+	if m.mig.Load() != nil {
+		return false, "layout migration in progress"
+	}
+	return true, "ok"
 }
 
 // localClient is the admission fair-queue key for queries issued directly
@@ -451,25 +541,26 @@ type cachedPlan struct {
 }
 
 // route resolves sql to a routing plan for view v through the descriptor
-// cache. Plans are immutable after routing, so cached plans are shared
-// across queries. Entries are keyed to v's epoch — the cutover sweep
-// translates or drops them when the layout changes, and entries from any
-// other epoch read as misses.
-func (m *Master) route(v *routeView, sql string) (router.Plan, error) {
+// cache, reporting whether the cache answered. Plans are immutable after
+// routing, so cached plans are shared across queries. Entries are keyed to
+// v's epoch — the cutover sweep translates or drops them when the layout
+// changes, and entries from any other epoch read as misses.
+func (m *Master) route(v *routeView, sql string) (router.Plan, bool, error) {
 	if m.planCache == nil {
-		return v.router.RouteSQL(sql)
+		plan, err := v.router.RouteSQL(sql)
+		return plan, false, err
 	}
 	if e, ok := m.planCache.Get(sql); ok && e.epoch == v.epoch {
 		m.m.planHits.Inc()
-		return e.plan, nil
+		return e.plan, true, nil
 	}
 	m.m.planMisses.Inc()
 	plan, err := v.router.RouteSQL(sql)
 	if err != nil {
-		return plan, err
+		return plan, false, err
 	}
 	m.planCache.Put(sql, cachedPlan{plan: plan, epoch: v.epoch})
-	return plan, nil
+	return plan, false, nil
 }
 
 // planFor resolves sql under double-routing (DESIGN.md §13). With a
@@ -478,23 +569,40 @@ func (m *Master) route(v *routeView, sql string) (router.Plan, error) {
 // installed on its workers; otherwise — and always outside migrations — the
 // current view serves it. next reports which side was chosen (next-view
 // results must not populate the caches: their keys belong to the epoch that
-// has not cut over yet).
-func (m *Master) planFor(sql string) (v *routeView, plan router.Plan, next bool, err error) {
+// has not cut over yet); hit reports a descriptor-cache hit.
+func (m *Master) planFor(sql string) (v *routeView, plan router.Plan, next, hit bool, err error) {
 	if mg := m.mig.Load(); mg != nil {
 		plan, err := mg.view.router.RouteSQL(sql)
 		if err == nil && mg.planReady(plan) {
-			return mg.view, plan, true, nil
+			return mg.view, plan, true, false, nil
 		}
 	}
 	v = m.view.Load()
-	plan, err = m.route(v, sql)
-	return v, plan, false, err
+	plan, hit, err = m.route(v, sql)
+	return v, plan, false, hit, err
 }
 
-// query is the serving path shared by direct calls and network sessions:
-// result-cache lookup, admission (keyed by client for fair queueing), then
-// route and scatter, caching clean complete results on the way out.
-func (m *Master) query(ctx context.Context, client, sql string, allowPartial bool) (QueryResponse, error) {
+// queryStats carries routing facts and coarse stage timings out of the
+// serving body for the observability epilogue (trace annotations, slow-query
+// log, cost record). A nil *queryStats — the fully untraced fast path —
+// disables the clock reads.
+type queryStats struct {
+	routeNs     int64
+	scatterNs   int64
+	epoch       uint64
+	cached      bool
+	next        bool
+	layoutParts int
+	dims        int
+}
+
+// query is the serving path shared by direct calls and network sessions. It
+// wraps serveQuery (cache → admission → route → scatter) with the
+// observability epilogue of DESIGN.md §14: the sampled trace's root span and
+// Finish, the slow-query log, the cost record, and — for explain — the
+// assembled span tree on the response. explain forces a trace even when
+// sampling is off.
+func (m *Master) query(ctx context.Context, client, sql string, allowPartial, explain bool) (QueryResponse, error) {
 	var start time.Time
 	if m.m.queries != nil {
 		start = time.Now()
@@ -508,17 +616,122 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.QueryTimeout)
 		defer cancel()
 	}
+	tq := m.traceFor(explain)
+	costLog := m.costLog.Load()
+	slow := m.cfg.SlowQuery
+	if tq == nil && costLog == nil && slow <= 0 {
+		// The fully untraced fast path: beyond two atomic loads it pays only
+		// the nil checks compiled into the instrumentation points.
+		return m.serveQuery(ctx, client, sql, allowPartial, nil, trace.SpanRef{}, nil)
+	}
+	qstart := time.Now()
+	root := tq.Start("query", trace.SpanRef{})
+	var st queryStats
+	resp, err := m.serveQuery(ctx, client, sql, allowPartial, tq, root, &st)
+	elapsed := time.Since(qstart)
+	if tq != nil {
+		root.Int(trace.KeyRows, int64(resp.Rows))
+		root.Int(trace.KeyBytesRead, resp.BytesScanned)
+		root.Int(trace.KeyBytesSkipped, resp.BytesSkipped)
+		root.Int(trace.KeyPartitions, int64(resp.PartitionsScanned))
+		root.Int(trace.KeyEpoch, int64(st.epoch))
+		if st.cached {
+			root.Int(trace.KeyCacheHit, 1)
+		}
+		if st.next {
+			root.Int(trace.KeyNextView, 1)
+		}
+		if resp.Partial {
+			root.Int(trace.KeyPartial, 1)
+		}
+		if err != nil {
+			root.Int(trace.KeyError, 1)
+		}
+		root.End()
+		m.tracer.Load().Finish(tq)
+		m.m.tracesSampled.Inc()
+	}
+	if slow > 0 && elapsed >= slow {
+		m.m.slowQueries.Inc()
+		traceID := "untraced"
+		if tq != nil {
+			traceID = fmt.Sprintf("%016x", tq.ID())
+		}
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		slog.Warn("paw: slow query",
+			"client", client,
+			"sql", sql,
+			"elapsed", elapsed,
+			"trace_id", traceID,
+			"route_ns", st.routeNs,
+			"scatter_ns", st.scatterNs,
+			"ranges", resp.SubQueries,
+			"partitions", resp.PartitionsScanned,
+			"rows", resp.Rows,
+			"bytes_read", resp.BytesScanned,
+			"bytes_skipped", resp.BytesSkipped,
+			"epoch", st.epoch,
+			"cached", st.cached,
+			"partial", resp.Partial,
+			"err", errStr,
+		)
+	}
+	if costLog != nil && err == nil {
+		costLog.Record(trace.CostRecord{
+			TraceID:           tq.ID(),
+			UnixNs:            qstart.UnixNano(),
+			SQL:               sql,
+			Epoch:             st.epoch,
+			LayoutPartitions:  st.layoutParts,
+			Dims:              st.dims,
+			Ranges:            resp.SubQueries,
+			PartitionsTouched: resp.PartitionsScanned,
+			Workers:           len(m.addrs),
+			Rows:              resp.Rows,
+			BytesRead:         resp.BytesScanned,
+			BytesSkipped:      resp.BytesSkipped,
+			Cached:            st.cached,
+			Partial:           resp.Partial,
+			NextView:          st.next,
+			TotalNs:           int64(elapsed),
+			RouteNs:           st.routeNs,
+			ScatterNs:         st.scatterNs,
+		})
+	}
+	if explain && err == nil && tq != nil {
+		// Spans ride the response only when the request forced the trace —
+		// and only on this return value, never on the cached copy (serveQuery
+		// stored `total` before we got here), so untraced responses stay
+		// byte-identical whether tracing is on or off.
+		resp.TraceID = tq.ID()
+		resp.Spans = tq.Spans()
+	}
+	return resp, err
+}
+
+// serveQuery is the serving body: result-cache lookup, admission (keyed by
+// client for fair queueing), then route and scatter, caching clean complete
+// results on the way out. tq and st may be nil (untraced fast path) — all
+// instrumentation points degrade to nil checks.
+func (m *Master) serveQuery(ctx context.Context, client, sql string, allowPartial bool, tq *trace.T, root trace.SpanRef, st *queryStats) (QueryResponse, error) {
 	// A cached clean result answers without a slot: serving memory beats
 	// re-scattering, and the cache can only hold results that are still
 	// valid (InvalidateCaches empties it on layout/placement change).
 	if m.resultCache != nil {
 		if resp, ok := m.resultCache.Get(sql); ok {
 			m.m.resultHits.Inc()
+			if st != nil {
+				st.cached = true
+				st.epoch = m.view.Load().epoch
+			}
 			if m.observer.Load() != nil {
 				// The monitor needs the query's routed shape even for a
 				// cache hit (it is real demand); the plan comes from the
 				// descriptor cache, so this stays cheap.
-				if plan, err := m.route(m.view.Load(), sql); err == nil {
+				if plan, _, err := m.route(m.view.Load(), sql); err == nil {
 					m.observe(plan, &resp, m.view.Load().epoch, true)
 				}
 			}
@@ -527,20 +740,51 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		m.m.resultMisses.Inc()
 	}
 	if m.admission != nil {
+		asp := tq.Start("admission", root)
 		release, err := m.admission.Acquire(ctx, client)
 		if err != nil {
+			asp.Int(trace.KeyError, 1)
+			asp.End()
 			if errors.Is(err, serve.ErrOverloaded) {
 				m.m.overloads.Inc()
 				return QueryResponse{}, fmt.Errorf("dist: query shed: %w", err)
 			}
 			return QueryResponse{}, err
 		}
+		asp.End()
 		defer release()
 	}
-	view, plan, next, err := m.planFor(sql)
+	var routeStart time.Time
+	if st != nil {
+		routeStart = time.Now()
+	}
+	rsp := tq.Start("route", root)
+	view, plan, next, hit, err := m.planFor(sql)
+	if st != nil {
+		st.routeNs = int64(time.Since(routeStart))
+	}
 	if err != nil {
+		rsp.Int(trace.KeyError, 1)
+		rsp.End()
 		return QueryResponse{}, err
 	}
+	if st != nil {
+		st.epoch = view.epoch
+		st.next = next
+		st.layoutParts = len(view.router.Layout().Parts)
+		if len(plan.Ranges) > 0 {
+			st.dims = plan.Ranges[0].Range.Dims()
+		}
+	}
+	rsp.Int(trace.KeyRanges, int64(len(plan.Ranges)))
+	rsp.Int(trace.KeyPartitions, int64(plan.NumScans()))
+	if hit {
+		rsp.Int(trace.KeyPlanCacheHit, 1)
+	}
+	if next {
+		rsp.Int(trace.KeyNextView, 1)
+	}
+	rsp.End()
 	view.inflight.Add(1)
 	defer view.inflight.Add(-1)
 	var total QueryResponse
@@ -550,11 +794,23 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 		budget = new(atomic.Int64)
 		budget.Store(int64(n))
 	}
-	for _, rp := range plan.Ranges {
-		failed, cause, err := m.scatterRange(ctx, view, rp.Range, rp.Parts, budget, allowPartial, &total)
+	var scatterStart time.Time
+	if st != nil {
+		scatterStart = time.Now()
+	}
+	for i, rp := range plan.Ranges {
+		ssp := tq.Start("scatter", root)
+		ssp.Int(trace.KeyRange, int64(i))
+		ssp.Int(trace.KeyPartitions, int64(len(rp.Parts)))
+		failed, cause, err := m.scatterRange(ctx, view, rp.Range, rp.Parts, budget, allowPartial, &total, tq, ssp)
 		if err != nil {
+			ssp.Int(trace.KeyError, 1)
+			ssp.End()
 			if errors.Is(err, context.DeadlineExceeded) {
 				m.m.deadlines.Inc()
+			}
+			if st != nil {
+				st.scatterNs = int64(time.Since(scatterStart))
 			}
 			return QueryResponse{}, err
 		}
@@ -566,11 +822,20 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial boo
 					// change). Silent empty success would be a wrong answer.
 					cause = fmt.Errorf("dist: partition(s) %v have no placed replica under epoch %d", failed, view.epoch)
 				}
+				ssp.Int(trace.KeyError, 1)
+				ssp.End()
+				if st != nil {
+					st.scatterNs = int64(time.Since(scatterStart))
+				}
 				return QueryResponse{}, cause
 			}
 			total.FailedPartitions = append(total.FailedPartitions, failed...)
 		}
 		total.PartitionsScanned += len(rp.Parts) - len(failed)
+		ssp.End()
+	}
+	if st != nil {
+		st.scatterNs = int64(time.Since(scatterStart))
 	}
 	if len(total.FailedPartitions) > 0 {
 		sort.Slice(total.FailedPartitions, func(i, j int) bool {
@@ -617,7 +882,7 @@ func (m *Master) pickWorker(v *routeView, id layout.ID, tried map[int]bool) int 
 // abort (context done). In-flight sibling RPCs are cancelled as soon as the
 // range is known to fail, and the scatter always drains its goroutines
 // before returning.
-func (m *Master) scatterRange(ctx context.Context, v *routeView, q geom.Box, ids []layout.ID, budget *atomic.Int64, allowPartial bool, total *QueryResponse) (failed []layout.ID, cause, err error) {
+func (m *Master) scatterRange(ctx context.Context, v *routeView, q geom.Box, ids []layout.ID, budget *atomic.Int64, allowPartial bool, total *QueryResponse, tq *trace.T, span trace.SpanRef) (failed []layout.ID, cause, err error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	pending := ids
@@ -658,12 +923,12 @@ func (m *Master) scatterRange(ctx context.Context, v *routeView, q geom.Box, ids
 		}
 		results := make(chan result, len(byWorker))
 		for w, bids := range byWorker {
-			go func(w int, bids []layout.ID) {
+			go func(w int, bids []layout.ID, round int) {
 				var r result
 				r.w, r.ids = w, bids
-				r.err = m.callWorker(sctx, w, ScanRequest{Query: q, IDs: bids, Epoch: v.epoch}, &r.resp, budget)
+				r.err = m.callWorker(sctx, w, ScanRequest{Query: q, IDs: bids, Epoch: v.epoch}, &r.resp, budget, tq, span, round)
 				results <- r
-			}(w, bids)
+			}(w, bids, round)
 		}
 		var next []layout.ID
 		fatal := false
@@ -787,7 +1052,7 @@ func (m *Master) handleQueryRequest(client string, req QueryRequest) QueryRespon
 	if req.TimeoutMillis > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 	}
-	resp, err := m.query(ctx, client, req.SQL, req.AllowPartial || m.cfg.AllowPartial)
+	resp, err := m.query(ctx, client, req.SQL, req.AllowPartial || m.cfg.AllowPartial, req.Trace)
 	cancel()
 	if err != nil {
 		resp = QueryResponse{Err: err.Error(), ErrCode: errCodeFor(err)}
@@ -908,7 +1173,18 @@ func (c *Client) Query(sql string) (QueryResponse, error) {
 // deadline or cancellation error the connection is poisoned mid-message;
 // the client must be re-dialed.
 func (c *Client) QueryContext(ctx context.Context, sql string) (QueryResponse, error) {
-	req := QueryRequest{SQL: sql, AllowPartial: c.allowPartial}
+	return c.call(ctx, sql, false)
+}
+
+// Explain runs one SQL statement with a forced trace (EXPLAIN ANALYZE); the
+// response carries the assembled span tree. Mirrors MuxClient.Explain so the
+// differential oracle can compare both transports' traced behaviour.
+func (c *Client) Explain(ctx context.Context, sql string) (QueryResponse, error) {
+	return c.call(ctx, sql, true)
+}
+
+func (c *Client) call(ctx context.Context, sql string, explain bool) (QueryResponse, error) {
+	req := QueryRequest{SQL: sql, AllowPartial: c.allowPartial, Trace: explain}
 	if d, ok := ctx.Deadline(); ok {
 		ms := time.Until(d).Milliseconds()
 		if ms < 1 {

@@ -41,6 +41,12 @@ const (
 	MetricQueriesShed        = "dist_queries_shed_total"
 	MetricCleanExpiries      = "dist_call_clean_expiries_total"
 
+	// Observability counters (DESIGN.md §14): traces actually sampled (forced
+	// EXPLAIN traces included) and queries that crossed the slow-query
+	// threshold.
+	MetricTracesSampled = "dist_traces_sampled_total"
+	MetricSlowQueries   = "dist_slow_queries_total"
+
 	MetricWorkerScans         = "worker_scan_requests_total"
 	MetricWorkerRows          = "worker_rows_matched_total"
 	MetricWorkerBytesRead     = "worker_bytes_read_total"
@@ -117,6 +123,8 @@ type masterMetrics struct {
 	cacheInvalidations *obs.Counter
 	overloads          *obs.Counter
 	cleanExpiries      *obs.Counter
+	tracesSampled      *obs.Counter
+	slowQueries        *obs.Counter
 
 	migrations         *obs.Counter
 	migrationsAborted  *obs.Counter
@@ -161,6 +169,8 @@ func (m *Master) SetMetrics(reg *obs.Registry) {
 		cacheInvalidations: reg.Counter(MetricCacheInvalidations),
 		overloads:          reg.Counter(MetricQueriesShed),
 		cleanExpiries:      reg.Counter(MetricCleanExpiries),
+		tracesSampled:      reg.Counter(MetricTracesSampled),
+		slowQueries:        reg.Counter(MetricSlowQueries),
 
 		migrations:         reg.Counter(MetricMigrations),
 		migrationsAborted:  reg.Counter(MetricMigrationsAborted),

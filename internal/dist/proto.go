@@ -29,6 +29,7 @@ import (
 	"paw/internal/geom"
 	"paw/internal/layout"
 	"paw/internal/serve"
+	"paw/internal/trace"
 )
 
 // ScanRequest asks a worker to scan a set of its partitions with one range
@@ -49,6 +50,10 @@ type ScanRequest struct {
 	// double-routes and a late scan under the previous epoch still resolves
 	// against the old partition set.
 	Epoch uint64
+	// TraceID, when non-zero, asks the worker to record per-partition scan
+	// spans and return them in ScanResponse.Spans (DESIGN.md §14). Zero —
+	// the untraced common case — keeps the worker's span path entirely off.
+	TraceID uint64
 }
 
 // Admin operations carried by AdminRequest (binary transport only).
@@ -107,6 +112,12 @@ type ScanResponse struct {
 	// FailedPartition is the partition that produced Err, or -1 when the
 	// response is clean (or the failure was not partition-specific).
 	FailedPartition int64
+	// Spans carries the worker's trace fragment when the request was traced
+	// (ScanRequest.TraceID != 0): span IDs are worker-local starting at 1,
+	// Parent 0 meaning "attach to the master's requesting span" — the master
+	// remaps them into the query trace (trace.T.Attach). Both transports
+	// carry the field, so gob and binary stay byte-identical per payload.
+	Spans []trace.Span
 }
 
 // QueryRequest is the client-to-master message: one SQL statement plus the
@@ -119,6 +130,10 @@ type QueryRequest struct {
 	// partition is down the master answers from the surviving partitions and
 	// reports the failed ones instead of failing the query.
 	AllowPartial bool
+	// Trace forces a full trace of this query (EXPLAIN ANALYZE): the master
+	// samples it regardless of the tracing configuration and returns the
+	// assembled span tree in QueryResponse.Spans.
+	Trace bool
 }
 
 // QueryResponse is the master's reply after scattering the scan work.
@@ -138,6 +153,11 @@ type QueryResponse struct {
 	Partial bool
 	// FailedPartitions lists the partitions no replica could serve.
 	FailedPartitions []layout.ID
+	// TraceID/Spans carry the assembled query trace, set only when the
+	// request forced one (QueryRequest.Trace); untraced responses stay
+	// byte-identical whether master-side tracing is on or off.
+	TraceID uint64
+	Spans   []trace.Span
 }
 
 // conn wraps a TCP connection with its gob codec pair and a mutex so

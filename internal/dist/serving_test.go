@@ -481,7 +481,7 @@ func TestWorkerScanSharing(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("scan %d: %v", i, errs[i])
 		}
-		if resps[i] != resps[0] {
+		if !reflect.DeepEqual(resps[i], resps[0]) {
 			t.Fatalf("scan %d diverged: %+v vs %+v", i, resps[i], resps[0])
 		}
 	}

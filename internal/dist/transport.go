@@ -158,7 +158,19 @@ func (c *MuxClient) Query(sql string) (QueryResponse, error) {
 // expiry abandons the call but leaves the connection healthy — the late
 // response is discarded by sequence number.
 func (c *MuxClient) QueryContext(ctx context.Context, sql string) (QueryResponse, error) {
-	req := QueryRequest{SQL: sql, AllowPartial: c.allowPartial.Load()}
+	return c.call(ctx, sql, false)
+}
+
+// Explain runs one SQL statement with a forced trace (EXPLAIN ANALYZE): the
+// master samples it regardless of its tracing configuration and the response
+// carries the assembled span tree (QueryResponse.Spans), per-partition
+// worker scans included.
+func (c *MuxClient) Explain(ctx context.Context, sql string) (QueryResponse, error) {
+	return c.call(ctx, sql, true)
+}
+
+func (c *MuxClient) call(ctx context.Context, sql string, explain bool) (QueryResponse, error) {
+	req := QueryRequest{SQL: sql, AllowPartial: c.allowPartial.Load(), Trace: explain}
 	if d, ok := ctx.Deadline(); ok {
 		ms := time.Until(d).Milliseconds()
 		if ms < 1 {

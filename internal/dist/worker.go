@@ -21,6 +21,7 @@ import (
 	"paw/internal/layout"
 	"paw/internal/parbuild"
 	"paw/internal/serve"
+	"paw/internal/trace"
 )
 
 // workerMaxInflight bounds the scan requests one binary session may have
@@ -367,8 +368,9 @@ func scanKey(epoch uint64, id layout.ID, q geom.Box) string {
 }
 
 // scanPartition runs (or attaches to) the kernel scan of one partition under
-// one layout epoch.
-func (w *Worker) scanPartition(epoch uint64, id layout.ID, q geom.Box) (colstore.ScanStats, error) {
+// one layout epoch. shared reports an attachment: the stats describe a
+// kernel pass another request ran.
+func (w *Worker) scanPartition(epoch uint64, id layout.ID, q geom.Box) (colstore.ScanStats, bool, error) {
 	st, shared, err := w.flight.Do(scanKey(epoch, id, q), func() (colstore.ScanStats, error) {
 		tab, useStore, err := w.lookup(epoch, id)
 		if err != nil {
@@ -385,15 +387,24 @@ func (w *Worker) scanPartition(epoch uint64, id layout.ID, q geom.Box) (colstore
 	if shared {
 		w.m.sharedScans.Inc()
 	}
-	return st, err
+	return st, shared, err
 }
 
 // batchKey is the whole-batch sharing key: the layout epoch, the ordered
-// partition list and the predicate box. Seq and Deadline are deliberately
-// excluded — they vary per request but do not change what a clean scan
-// returns.
+// partition list, the predicate box and whether the request is traced. Seq
+// and Deadline are deliberately excluded — they vary per request but do not
+// change what a clean scan returns. Traced requests only coalesce with
+// traced requests: an untraced leader records no spans, and a traced waiter
+// inheriting its spanless response would lose the per-partition story the
+// trace exists for. Sampling keeps traced requests rare, so the split costs
+// the sharing window nearly nothing.
 func batchKey(req ScanRequest) string {
-	b := make([]byte, 0, 8+8*len(req.IDs)+16*len(req.Query.Lo))
+	b := make([]byte, 0, 9+8*len(req.IDs)+16*len(req.Query.Lo))
+	if req.TraceID != 0 {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
 	b = binary.LittleEndian.AppendUint64(b, req.Epoch)
 	for _, id := range req.IDs {
 		b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
@@ -428,8 +439,29 @@ func (w *Worker) handle(req ScanRequest) ScanResponse {
 			return w.execBatch(req)
 		}
 		w.m.sharedScans.Add(int64(len(req.IDs)))
+		if req.TraceID != 0 {
+			// The spans describe the leader's kernel passes; this request
+			// merely attached. Copy the fragment (the shared slice is
+			// read-only) and flag its batch root so the master's trace shows
+			// the coalescing.
+			resp.Spans = markSharedSpans(resp.Spans)
+		}
 	}
 	return resp
+}
+
+// markSharedSpans copies a shared batch's span fragment, annotating its root
+// (Parent 0) with KeyShared. Only the mutated root's attrs are deep-copied.
+func markSharedSpans(spans []trace.Span) []trace.Span {
+	out := append([]trace.Span(nil), spans...)
+	for i := range out {
+		if out[i].Parent == 0 {
+			attrs := make([]trace.Attr, 0, len(out[i].Attrs)+1)
+			attrs = append(attrs, out[i].Attrs...)
+			out[i].Attrs = append(attrs, trace.Attr{K: trace.KeyShared, V: 1})
+		}
+	}
+	return out
 }
 
 // execBatch runs one scan batch for real. A per-partition failure stops the
@@ -443,19 +475,57 @@ func (w *Worker) execBatch(req ScanRequest) ScanResponse {
 	if req.Deadline > 0 {
 		deadline = time.Unix(0, req.Deadline)
 	}
+	// Traced requests (TraceID != 0) record a local span fragment: a batch
+	// root plus one scan span per partition, annotated with the kernel's
+	// byte/group accounting and encoding mix. Untraced requests keep tq nil —
+	// every span call below compiles down to a nil check.
+	var tq *trace.T
+	var root trace.SpanRef
+	if req.TraceID != 0 {
+		tq = trace.NewLocal()
+		root = tq.Start("worker_batch", trace.SpanRef{})
+		root.Int(trace.KeyEpoch, int64(req.Epoch))
+		root.Int(trace.KeyPartitions, int64(len(req.IDs)))
+	}
 	for _, id := range req.IDs {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			resp.Err = fmt.Sprintf("scan deadline exceeded at partition %d (req %d)", id, req.Seq)
 			resp.FailedPartition = int64(id)
 			w.m.deadlineDrops.Inc()
+			if tq != nil {
+				root.Int(trace.KeyError, 1)
+			}
 			break
 		}
-		st, err := w.scanPartition(req.Epoch, id, req.Query)
+		sp := tq.Start("scan", root)
+		st, sharedScan, err := w.scanPartition(req.Epoch, id, req.Query)
 		if err != nil {
+			if tq != nil {
+				sp.Int(trace.KeyPartition, int64(id))
+				sp.Int(trace.KeyError, 1)
+				sp.End()
+			}
 			resp.Err = err.Error()
 			resp.FailedPartition = int64(id)
 			w.m.errors.Inc()
 			break
+		}
+		if tq != nil {
+			sp.Int(trace.KeyPartition, int64(id))
+			sp.Int(trace.KeyRows, int64(st.Matched))
+			sp.Int(trace.KeyBytesRead, st.BytesRead)
+			sp.Int(trace.KeyBytesSkipped, st.BytesSkipped)
+			sp.Int(trace.KeyGroupsRead, int64(st.GroupsRead))
+			sp.Int(trace.KeyGroupsSkipped, int64(st.GroupsSkipped))
+			sp.Int(trace.KeyGroupsZoneSkipped, int64(st.GroupsZoneSkipped))
+			sp.Int(trace.KeyEncRaw, int64(st.ColsRaw))
+			sp.Int(trace.KeyEncDict, int64(st.ColsDict))
+			sp.Int(trace.KeyEncRLE, int64(st.ColsRLE))
+			sp.Int(trace.KeyEncFOR, int64(st.ColsFOR))
+			if sharedScan {
+				sp.Int(trace.KeyShared, 1)
+			}
+			sp.End()
 		}
 		resp.Rows += st.Matched
 		resp.BytesRead += st.BytesRead
@@ -463,6 +533,10 @@ func (w *Worker) execBatch(req ScanRequest) ScanResponse {
 		resp.GroupsRead += st.GroupsRead
 		resp.GroupsSkipped += st.GroupsSkipped
 		resp.GroupsZoneSkipped += st.GroupsZoneSkipped
+	}
+	if tq != nil {
+		root.End()
+		resp.Spans = tq.Spans()
 	}
 	w.m.rows.Add(int64(resp.Rows))
 	w.m.bytesRead.Add(resp.BytesRead)
@@ -479,6 +553,20 @@ func (w *Worker) isClosed() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.closed
+}
+
+// Ready reports whether the worker can serve scans — it is listening and not
+// closed. The /readyz endpoint of pawworker is built on it.
+func (w *Worker) Ready() (bool, string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case w.closed:
+		return false, "worker is closed"
+	case w.listener == nil:
+		return false, "worker is not serving yet"
+	}
+	return true, "ok"
 }
 
 // Close stops the listener, terminates live sessions (masters park

@@ -18,6 +18,7 @@ import (
 	"paw/internal/layout"
 	"paw/internal/placement"
 	"paw/internal/router"
+	"paw/internal/trace"
 	"paw/internal/workload"
 )
 
@@ -55,6 +56,12 @@ type Controller struct {
 
 	// inst is the obs instrument set (never nil; the zero set is a no-op).
 	inst atomic.Pointer[driftInstruments]
+
+	// tracer, when set, records every migration pipeline run as a trace
+	// (stage spans: rebuild, benefit gate, validate, cutover) into the same
+	// ring the query traces land in. Migrations are rare, so they are always
+	// sampled.
+	tracer atomic.Pointer[trace.Tracer]
 
 	lastMu sync.Mutex
 	last   Report
@@ -104,6 +111,11 @@ func New(m *dist.Master, data *dataset.Dataset, hist workload.Workload, cfg Conf
 
 // Monitor exposes the observation half (Status, TopWaste, Evaluate).
 func (c *Controller) Monitor() *Monitor { return c.mon }
+
+// SetTracer installs (or, with nil, removes) the tracer migration traces
+// are recorded into — typically the same tracer the master samples queries
+// into, so /traces interleaves both.
+func (c *Controller) SetTracer(tr *trace.Tracer) { c.tracer.Store(tr) }
 
 // Attach installs the controller as the master's query observer. With auto
 // true, every cfg.CheckEvery observations the controller evaluates the
@@ -187,10 +199,30 @@ func (c *Controller) TriggerNow(ctx context.Context) (Report, error) {
 	return rep, err
 }
 
-// migrate runs region rebuild → patch → benefit gate → (optional) oracle
-// validation → migration. It mutates rep as it goes; rep.Migrated is set
-// only after ApplyMigration returns.
+// migrate runs the pipeline under an always-sampled migration trace when a
+// tracer is installed (migrations are rare and each one matters); the trace
+// lands in the same ring as the query traces.
 func (c *Controller) migrate(ctx context.Context, rep *Report) error {
+	tr := c.tracer.Load()
+	tm := tr.Sample(true)
+	root := tm.Start("drift_migration", trace.SpanRef{})
+	err := c.runMigration(ctx, rep, tm, root)
+	if tm != nil {
+		root.Int(trace.KeyEpoch, int64(rep.Epoch))
+		root.Int(trace.KeyPartitions, int64(rep.Renamed+rep.Added))
+		if err != nil {
+			root.Int(trace.KeyError, 1)
+		}
+		root.End()
+		tr.Finish(tm)
+	}
+	return err
+}
+
+// runMigration runs region rebuild → patch → benefit gate → (optional)
+// oracle validation → migration. It mutates rep as it goes; rep.Migrated is
+// set only after ApplyMigration returns.
+func (c *Controller) runMigration(ctx context.Context, rep *Report, tm *trace.T, root trace.SpanRef) error {
 	live := c.mon.Window()
 	liveBoxes := live.Boxes()
 
@@ -205,10 +237,15 @@ func (c *Controller) migrate(ctx context.Context, rep *Report) error {
 		return fmt.Errorf("drift: layout has no tree")
 	}
 
+	rsp := tm.Start("rebuild", root)
 	newL, diff, payloadRows, err := c.rebuild(cur, target, live)
 	if err != nil {
+		rsp.Int(trace.KeyError, 1)
+		rsp.End()
 		return err
 	}
+	rsp.Int(trace.KeyPartitions, int64(len(diff.Added)))
+	rsp.End()
 	rep.Renamed, rep.Added, rep.Removed = len(diff.Renamed), len(diff.Added), len(diff.Removed)
 
 	// Benefit gate: the patch must actually cut the live window's modeled
@@ -223,25 +260,40 @@ func (c *Controller) migrate(ctx context.Context, rep *Report) error {
 		return nil
 	}
 
+	bsp := tm.Start("build_payload", root)
 	mig, moved, err := c.buildMigration(newL, diff, payloadRows)
 	if err != nil {
+		bsp.Int(trace.KeyError, 1)
+		bsp.End()
 		return err
 	}
+	bsp.Int(trace.KeyBytesRead, moved)
+	bsp.End()
 
 	if c.cfg.Validate {
+		vsp := tm.Start("validate", root)
 		if verr := invariant.CheckDrift(cur, newL, diff, c.cfg.Seed); verr != nil {
+			vsp.Int(trace.KeyError, 1)
+			vsp.End()
 			rep.SkipReason = "drift oracle rejected the patch"
 			return fmt.Errorf("drift: patch validation: %w", verr)
 		}
 		if verr := invariant.CheckCutover(newL, diff, migrationSteps(mig)); verr != nil {
+			vsp.Int(trace.KeyError, 1)
+			vsp.End()
 			rep.SkipReason = "cutover oracle rejected the plan"
 			return fmt.Errorf("drift: plan validation: %w", verr)
 		}
+		vsp.End()
 	}
 
+	csp := tm.Start("cutover", root)
 	if err := c.master.ApplyMigration(ctx, mig); err != nil {
+		csp.Int(trace.KeyError, 1)
+		csp.End()
 		return err
 	}
+	csp.End()
 	rep.Migrated = true
 	rep.Epoch = mig.Epoch
 	rep.MovedBytes = moved

@@ -231,14 +231,17 @@ func (r *BuildReport) Render(w io.Writer) {
 		fmt.Fprintf(w, "  data: %d bytes (%d/row), %d unrouted\n", r.TotalBytes, r.RowBytes, r.Unrouted)
 	}
 
-	fmt.Fprintf(w, "\nphases (wall %v, coverage %.1f%%):\n",
-		time.Duration(r.WallNs).Round(time.Microsecond), 100*r.PhaseCoverage())
-	for _, p := range r.Phases {
-		pct := 0.0
-		if r.WallNs > 0 {
-			pct = 100 * float64(p.Ns) / float64(r.WallNs)
+	if len(r.Phases) == 0 || r.WallNs <= 0 {
+		// A build run with telemetry disabled records no phase timings;
+		// "untraced" distinguishes that from a build whose phases measured 0.
+		fmt.Fprintf(w, "\nphases: untraced (build ran with telemetry disabled)\n")
+	} else {
+		fmt.Fprintf(w, "\nphases (wall %v, coverage %.1f%%):\n",
+			time.Duration(r.WallNs).Round(time.Microsecond), 100*r.PhaseCoverage())
+		for _, p := range r.Phases {
+			pct := 100 * float64(p.Ns) / float64(r.WallNs)
+			fmt.Fprintf(w, "  %-12s %12v  %5.1f%%\n", p.Name, time.Duration(p.Ns).Round(time.Microsecond), pct)
 		}
-		fmt.Fprintf(w, "  %-12s %12v  %5.1f%%\n", p.Name, time.Duration(p.Ns).Round(time.Microsecond), pct)
 	}
 
 	s := r.Splits

@@ -146,6 +146,14 @@ func (s *Server) Close() error { return s.srv.Close() }
 // the standard Go profiles. It returns immediately; the server runs until
 // Close. Used by pawmaster/pawworker's -metrics flag.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeWith(addr, r, nil)
+}
+
+// ServeWith is Serve with additional handlers mounted on the same listener —
+// the nodes' /traces, /healthz and /readyz surfaces ride the metrics server
+// rather than their own port. Extra patterns must not collide with /metrics,
+// / or /debug/pprof/ (http.ServeMux panics on duplicates, by design).
+func ServeWith(addr string, r *Registry, extra map[string]http.Handler) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -159,9 +167,38 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, handler := range extra {
+		mux.Handle(pattern, handler)
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }()
 	return &Server{listener: l, srv: srv}, nil
+}
+
+// Healthz is the liveness handler: a flat 200 while the process serves HTTP
+// at all. Readiness is the interesting signal; see Readyz.
+func Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// Readyz adapts a readiness check into a handler: 200 "ok" when check
+// reports ready, 503 with the reason otherwise. Load balancers and the
+// distributed example gate traffic on it (a master mid-cutover or a worker
+// that has not installed its placement is alive but not ready).
+func Readyz(check func() (ready bool, reason string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ready, reason := check()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, reason)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 }
 
 // SortedNames returns the registered instrument names in lexicographic

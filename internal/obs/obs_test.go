@@ -316,3 +316,43 @@ func TestParseLevel(t *testing.T) {
 		t.Error("invalid level must error")
 	}
 }
+
+func TestServeWithHealthEndpoints(t *testing.T) {
+	ready := false
+	reason := "placement not installed"
+	srv, err := ServeWith("127.0.0.1:0", New(), map[string]http.Handler{
+		"/healthz": Healthz(),
+		"/readyz":  Readyz(func() (bool, string) { return ready, reason }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 256)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		return resp.StatusCode, strings.TrimSpace(string(body[:n]))
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != reason {
+		t.Fatalf("not-ready /readyz: %d %q, want 503 with the reason", code, body)
+	}
+	ready = true
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ok" {
+		t.Fatalf("ready /readyz: %d %q", code, body)
+	}
+	// The metrics surface still rides the same listener.
+	if code, _ := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics alongside extras: %d", code)
+	}
+}

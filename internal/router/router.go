@@ -94,6 +94,19 @@ func (p Plan) PartitionIDs() []layout.ID {
 	return out[:w]
 }
 
+// NumScans counts the per-range partition scans the plan schedules — the
+// scatter work, without materialising the deduplicated union. A partition
+// named by two ranges counts twice, because it is scanned twice. Used as a
+// routing-span attribute and cost-record feature without PartitionIDs'
+// allocation on multi-range plans.
+func (p Plan) NumScans() int {
+	n := 0
+	for _, r := range p.Ranges {
+		n += len(r.Parts)
+	}
+	return n
+}
+
 // CostBytes returns the plan's total I/O cost: extra partitions for ranges
 // they serve, base partitions (deduplicated) for the rest.
 func (p Plan) CostBytes(l *layout.Layout, extras layout.Extras) int64 {

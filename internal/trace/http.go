@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// tracesDocument is the /traces JSON payload: recent traces newest-first
+// plus the latency exemplars linking histogram buckets to trace IDs.
+type tracesDocument struct {
+	Traces    []Finished `json:"traces"`
+	Exemplars []Exemplar `json:"exemplars"`
+}
+
+// WriteJSON writes the same document /traces serves — recent traces
+// newest-first plus exemplars — to w. A nil tracer writes an empty document.
+// This is the file-artifact form of the endpoint (demo dumps, CI artifacts).
+func WriteJSON(w io.Writer, tr *Tracer) error {
+	doc := tracesDocument{Traces: tr.Traces(), Exemplars: tr.Exemplars()}
+	if doc.Traces == nil {
+		doc.Traces = []Finished{}
+	}
+	if doc.Exemplars == nil {
+		doc.Exemplars = []Exemplar{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the tracer's recent traces as JSON on /traces: the full
+// ring with exemplars by default, a single trace with ?id=<trace_id>
+// (decimal or 0x-hex), at most ?limit=N traces otherwise. A nil tracer
+// serves an empty document, so the endpoint can be mounted unconditionally.
+func Handler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 0, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f, ok := tr.Get(id)
+			if !ok {
+				http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(f)
+			return
+		}
+		doc := tracesDocument{Traces: tr.Traces(), Exemplars: tr.Exemplars()}
+		if doc.Traces == nil {
+			doc.Traces = []Finished{}
+		}
+		if doc.Exemplars == nil {
+			doc.Exemplars = []Exemplar{}
+		}
+		if lim := req.URL.Query().Get("limit"); lim != "" {
+			if n, err := strconv.Atoi(lim); err == nil && n >= 0 && n < len(doc.Traces) {
+				doc.Traces = doc.Traces[:n]
+			}
+		}
+		_ = enc.Encode(doc)
+	})
+}
