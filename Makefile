@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving bench-drift obs-demo trace-demo
+.PHONY: check build vet test race chaos fuzz bench-construction bench-routing bench-scan bench-serving bench-drift bench-rebalance obs-demo trace-demo
 
 # check is the full tier-1 gate: build, vet, tests, and the race detector
 # over every package that runs concurrent construction or routing code.
@@ -23,18 +23,22 @@ test:
 # race runs the concurrent builders (PAW, Qd-tree, k-d tree, beam, parbuild),
 # the concurrent routing/costing paths (layout batch sweeps, router, tuner),
 # the benchmark harness, the invariant/simulation suites, the online
-# reorganization path (ingest, adaptive baseline, drift monitor + migration)
-# and the tracing substrate (spans assemble across scatter goroutines) under
-# the race detector in short mode. Any new fan-out point must pass this
-# before merging.
+# reorganization path (ingest, adaptive baseline, drift monitor + migration),
+# the elastic membership substrate (failure detector, ring placement,
+# rebalance planner) and the tracing substrate (spans assemble across scatter
+# goroutines) under the race detector in short mode. Any new fan-out point
+# must pass this before merging.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/... ./internal/adaptive/... ./internal/ingest/... ./internal/drift/... ./internal/trace/...
+	$(GO) test -race -short ./internal/core/... ./internal/qdtree/... ./internal/kdtree/... ./internal/parbuild/... ./internal/layout/... ./internal/router/... ./internal/tuner/... ./internal/bench/... ./internal/invariant/... ./internal/sim/... ./internal/obs/... ./internal/dist/... ./internal/faultnet/... ./internal/serve/... ./internal/colstore/... ./internal/blockstore/... ./internal/adaptive/... ./internal/ingest/... ./internal/drift/... ./internal/trace/... ./internal/membership/...
 
 # chaos runs the deterministic fault-injection suite (DESIGN.md §10) under
 # the race detector: every TestChaos* scenario drives the distributed path
 # through faultnet scripts on a fixed seed matrix and asserts the intended
 # recovery — bounded retry+backoff, replica failover, breaker trip and
-# probe, deadline expiry without goroutine leaks, and partial results.
+# probe, deadline expiry without goroutine leaks, and partial results. The
+# elastic-membership scenarios (TestChaosRebalance*, TestChaosJoin*,
+# TestChaosMembership*) crash workers mid-rebalance and mid-join and assert
+# clean aborts with exact answers throughout (DESIGN.md §15).
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/dist/... ./internal/faultnet/...
 
@@ -45,13 +49,17 @@ chaos:
 # kernels vs naive scan across every encoding, v1+v2 codecs), and the drift
 # differential (fuzzed query streams against a live cluster with the drift
 # controller attached — every answer must match the static-layout oracle,
-# before, during and after any migration).
+# before, during and after any migration), and the membership differential
+# (fuzzed join/leave/crash/tick/rebalance sequences against a live elastic
+# cluster — every answered query must match the dataset oracle through the
+# churn).
 fuzz:
 	$(GO) test ./internal/sim -run FuzzInvariants -fuzz FuzzInvariants -fuzztime 30s
 	$(GO) test ./internal/workload -run FuzzMinimalDelta -fuzz FuzzMinimalDelta -fuzztime 30s
 	$(GO) test ./internal/layout -run FuzzRoutingDifferential -fuzz FuzzRoutingDifferential -fuzztime 30s
 	$(GO) test ./internal/colstore -run FuzzScanDifferential -fuzz FuzzScanDifferential -fuzztime 30s
 	$(GO) test ./internal/drift -run FuzzDriftDifferential -fuzz FuzzDriftDifferential -fuzztime 30s
+	$(GO) test ./internal/dist -run FuzzMembershipDifferential -fuzz FuzzMembershipDifferential -fuzztime 30s
 
 # bench-construction regenerates BENCH_construction.json: construction
 # ns/op, allocs/op and parallel speedup at 1/2/4/8 workers, tracked across
@@ -86,6 +94,14 @@ bench-serving:
 # baselines, tracked across PRs.
 bench-drift:
 	$(GO) run ./cmd/pawbench -drift BENCH_drift.json
+
+# bench-rebalance regenerates BENCH_rebalance.json: the elastic-membership
+# lifecycle on a live cluster — a worker joins over the wire and the master
+# rebalances with minimal movement, then the worker drains and leaves — with
+# data moved vs the consistent-hash ideal and query availability through
+# both events, tracked across PRs.
+bench-rebalance:
+	$(GO) run ./cmd/pawbench -rebalance BENCH_rebalance.json
 
 # obs-demo exercises the telemetry pipeline end to end: build a layout with
 # the metrics registry attached, emit the structured build report (phase

@@ -37,6 +37,7 @@ func main() {
 		scan         = flag.String("scan", "", "write the columnar-scan benchmark (MB/s, rows/s, bytes skipped, allocs/op, encoded-vs-naive speedup) as JSON to this path and exit")
 		serving      = flag.String("serving", "", "write the serving benchmark (qps, p50/p99, saturation point, binary-vs-gob transport speedup over an in-process cluster) as JSON to this path and exit")
 		drift        = flag.String("drift", "", "write the drift benchmark (trigger fidelity, recovery time, queries served during migration, offline-rebuild and adaptive baselines over live clusters) as JSON to this path and exit")
+		rebalance    = flag.String("rebalance", "", "write the elastic-rebalance benchmark (data moved vs the consistent-hash ideal and query availability through a live join and graceful leave) as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -91,6 +92,13 @@ func main() {
 	}
 	if *drift != "" {
 		if err := runDrift(cfg, *drift); err != nil {
+			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *rebalance != "" {
+		if err := runRebalance(cfg, *rebalance); err != nil {
 			fmt.Fprintf(os.Stderr, "pawbench: %v\n", err)
 			os.Exit(1)
 		}

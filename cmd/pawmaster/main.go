@@ -6,11 +6,27 @@
 //	pawmaster -data data.pawd -layout layout.pawl \
 //	          -workers 127.0.0.1:7101,127.0.0.1:7102 -listen 127.0.0.1:7100
 //
-// With -replicas R > 1 the master places replica r of partition p on worker
-// (p+r) mod W and fails scans over to the next live replica when a worker is
-// down; pawworker must be started with the same -replicas value so every
+// With -replicas R > 1 the master keeps R copies of every partition and
+// fails scans over to the next live replica when a worker is down. The
+// placement rule is -placement: "mod" (replica r of partition p on worker
+// (p+r) mod W, the legacy convention) or "ring" (consistent hashing over
+// -vnodes virtual nodes — the rule elastic clusters rebalance to, so a
+// ring-placed cluster's first rebalance is a no-op). pawworker must be
+// started with the same -placement, -replicas and -vnodes values so every
 // process derives the same placement without coordination. The retry,
 // backoff and breaker flags tune the failure handling of DESIGN.md §10.
+//
+// With -membership the fleet is elastic (DESIGN.md §15): workers join and
+// leave through a checksum-validated handshake on the client port, silent
+// workers go suspect and then dead under the heartbeat failure detector
+// (-suspect-after / -dead-after, advanced every -member-tick), and the
+// master re-places partitions with minimal movement — on demand after a
+// graceful leave, or automatically (-rebalance-auto) when the placement
+// references a dead worker or a new member hosts nothing. -rebalance-budget
+// bounds the bytes one automatic round ships; deferred moves complete in
+// later rounds. Queries keep answering exactly throughout: rebalances ride
+// the epoch-versioned migration machinery, so a failed round aborts with
+// the old placement untouched.
 //
 // With -drift the master watches live queries for workload drift (DESIGN.md
 // §13): when the stream leaves the layout's variance scope (-drift-delta,
@@ -20,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -29,10 +46,12 @@ import (
 	"strings"
 	"time"
 
+	"paw/internal/colstore"
 	"paw/internal/dataset"
 	"paw/internal/dist"
 	"paw/internal/drift"
 	"paw/internal/layout"
+	"paw/internal/membership"
 	"paw/internal/obs"
 	"paw/internal/placement"
 	"paw/internal/router"
@@ -54,7 +73,9 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "append one JSONL cost record per query to this file (schema "+trace.CostRecordSchema+")")
 		slowQuery   = flag.Duration("slow-query", 0, "log a structured slow-query record for queries at or above this latency (0: off)")
 
-		replicas     = flag.Int("replicas", 1, "copies per partition; replica r of partition p lives on worker (p+r) mod workers (pawworker needs the same value)")
+		replicas     = flag.Int("replicas", 1, "copies per partition (pawworker needs the same value)")
+		placeRule    = flag.String("placement", "mod", "placement rule: mod or ring (pawworker needs the same value)")
+		vnodes       = flag.Int("vnodes", membership.DefaultVNodes, "virtual nodes per worker for ring placement and rebalance targets")
 		partial      = flag.Bool("partial", false, "answer from surviving replicas when a partition is lost instead of failing the query")
 		callTimeout  = flag.Duration("call-timeout", 5*time.Second, "per-scan-RPC timeout, dial included (0: only the query deadline bounds calls)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "whole-query timeout when the client sends no deadline (0: unbounded)")
@@ -65,6 +86,15 @@ func main() {
 		retrySeed    = flag.Int64("retry-seed", 1, "seed for the backoff jitter (fixed seeds reproduce schedules)")
 		breakerN     = flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit breaker")
 		breakerCool  = flag.Duration("breaker-cooldown", 500*time.Millisecond, "time an open breaker waits before admitting a probe")
+
+		memberOn     = flag.Bool("membership", false, "enable elastic membership: workers may join/leave at runtime and silent ones are declared dead (DESIGN.md §15)")
+		suspectAfter = flag.Duration("suspect-after", 2*time.Second, "heartbeat silence before a worker goes suspect (still placed, still queried)")
+		deadAfter    = flag.Duration("dead-after", 10*time.Second, "heartbeat silence before a worker is declared dead (deprioritised, rebalanced away)")
+		memberTick   = flag.Duration("member-tick", 500*time.Millisecond, "failure-detector tick period")
+		rebalAuto    = flag.Bool("rebalance-auto", true, "rebalance automatically when the placement references a dead worker or a live member hosts nothing")
+		rebalCool    = flag.Duration("rebalance-cooldown", 5*time.Second, "minimum spacing between automatic rebalances")
+		rebalBudget  = flag.Int64("rebalance-budget", 0, "max payload bytes one rebalance round ships; excess moves defer to later rounds (0: unbounded; graceful-leave drains always ignore it)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "post-cutover wait for in-flight old-epoch queries before the epoch retires anyway (expiries are counted)")
 
 		gobTransport   = flag.Bool("gob-transport", false, "speak the legacy gob protocol to workers instead of the multiplexed binary frames (differential oracle)")
 		connsPerWorker = flag.Int("conns-per-worker", 2, "multiplexed connections per worker (binary transport)")
@@ -120,11 +150,22 @@ func main() {
 	if *replicas < 1 || *replicas > len(addrs) {
 		fatalf("-replicas %d out of range for %d workers", *replicas, len(addrs))
 	}
-	rep := make(placement.Replicated, len(l.Parts))
-	for _, p := range l.Parts {
-		for r := 0; r < *replicas; r++ {
-			rep[p.ID] = append(rep[p.ID], (int(p.ID)+r)%len(addrs))
+	ids := make([]layout.ID, len(l.Parts))
+	for i, p := range l.Parts {
+		ids[i] = p.ID
+	}
+	var rep placement.Replicated
+	switch *placeRule {
+	case "mod":
+		rep = membership.ModPlacement(ids, len(addrs), *replicas)
+	case "ring":
+		all := make([]int, len(addrs))
+		for i := range all {
+			all[i] = i
 		}
+		rep = membership.RingPlacement(ids, all, *replicas, *vnodes)
+	default:
+		fatalf("unknown -placement %q (want mod or ring)", *placeRule)
 	}
 	m, err := dist.NewMasterReplicated(rm, addrs, rep)
 	if err != nil {
@@ -144,6 +185,7 @@ func main() {
 		QueryTimeout: *queryTimeout,
 		AllowPartial: *partial,
 		SlowQuery:    *slowQuery,
+		DrainTimeout: *drainTimeout,
 
 		Transport:          transportFlag(*gobTransport),
 		ConnsPerWorker:     *connsPerWorker,
@@ -222,6 +264,44 @@ func main() {
 		defer ctl.Detach()
 		slog.Info("drift monitor attached", "window", *driftWindow, "check_every", *driftCheck,
 			"delta", *driftDelta, "cost_factor", *driftCost, "reference_queries", histLog.Len())
+	}
+	if *memberOn {
+		// The master holds the full dataset, so it can re-encode any
+		// partition's payload itself — the rebalance fallback when no live
+		// worker still holds a copy.
+		all := make([]int, data.NumRows())
+		for i := range all {
+			all[i] = i
+		}
+		byPart := l.RouteIndices(data, all)
+		src := func(id layout.ID) ([]byte, int64, error) {
+			rows, ok := byPart[id]
+			if !ok {
+				return nil, 0, fmt.Errorf("partition %d routes no rows", id)
+			}
+			tab := colstore.FromDataset(data, rows, colstore.DefaultGroupRows)
+			var buf bytes.Buffer
+			if err := tab.Encode(&buf); err != nil {
+				return nil, 0, err
+			}
+			return buf.Bytes(), int64(len(rows)), nil
+		}
+		err := m.EnableMembership(dist.MembershipConfig{
+			Detector:          membership.Config{SuspectAfter: *suspectAfter, DeadAfter: *deadAfter},
+			TickEvery:         *memberTick,
+			Replicas:          *replicas,
+			VNodes:            *vnodes,
+			AutoRebalance:     *rebalAuto,
+			RebalanceCooldown: *rebalCool,
+			MaxMoveBytes:      *rebalBudget,
+			PayloadSource:     src,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		slog.Info("elastic membership enabled", "suspect_after", *suspectAfter,
+			"dead_after", *deadAfter, "tick", *memberTick, "auto_rebalance", *rebalAuto,
+			"rebalance_budget", *rebalBudget, "drain_timeout", *drainTimeout)
 	}
 	addr, err := m.Start(*listen)
 	if err != nil {

@@ -1,69 +1,103 @@
 // Command pawworker hosts a share of a partitioned dataset and serves scan
 // requests from a pawmaster. Workers take the dataset and layout files
-// produced by pawgen; partition ownership is round-robin by convention
-// (replica r of partition p lives on worker (p+r) mod workers), so all
-// processes agree without coordination. Start every worker and the master
-// with the same -replicas value to enable failover.
+// produced by pawgen; partition ownership follows the placement rule named
+// by -placement — "mod" (replica r of partition p on worker (p+r) mod
+// workers, the legacy convention) or "ring" (consistent hashing, the rule
+// elastic clusters rebalance to) — so all processes agree without
+// coordination. Start every worker and the master with the same -placement,
+// -replicas and -vnodes values.
 //
 //	pawgen gen -dataset tpch -rows 120000 -out data.pawd
 //	pawgen partition -in data.pawd -method paw -layout-out layout.pawl
 //	pawworker -data data.pawd -layout layout.pawl -index 0 -workers 2 -listen 127.0.0.1:7101 &
 //	pawworker -data data.pawd -layout layout.pawl -index 1 -workers 2 -listen 127.0.0.1:7102 &
+//
+// With -join the worker registers with a membership-enabled master
+// (pawmaster -membership) instead of assuming a static fleet: the join
+// handshake carries a checksum of the partitions this worker derived, the
+// master rejects the join if its own placement disagrees, and a background
+// heartbeat (-heartbeat-every) keeps the worker alive in the master's
+// failure detector. A worker started with -join and NO -data/-layout is a
+// fresh scale-out node: it joins empty and receives partitions through the
+// master's live rebalancing. On SIGINT a joined worker asks for a graceful
+// leave — the master drains its partitions before the process exits.
+//
+//	pawworker -join 127.0.0.1:7100 -listen 127.0.0.1:7103 &
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"paw/internal/blockstore"
 	"paw/internal/dataset"
 	"paw/internal/dist"
 	"paw/internal/layout"
+	"paw/internal/membership"
 	"paw/internal/obs"
 )
 
 func main() {
 	var (
-		dataPath   = flag.String("data", "", "dataset file (.pawd)")
-		layoutPath = flag.String("layout", "", "layout file (.pawl)")
-		index      = flag.Int("index", 0, "this worker's index")
-		workers    = flag.Int("workers", 1, "total worker count")
-		replicas   = flag.Int("replicas", 1, "copies per partition; this worker hosts partition p when (p+r) mod workers == index for some r < replicas (match pawmaster)")
+		dataPath   = flag.String("data", "", "dataset file (.pawd); optional with -join (a fresh joiner starts empty)")
+		layoutPath = flag.String("layout", "", "layout file (.pawl); optional with -join")
+		index      = flag.Int("index", -1, "this worker's slot (-1 with -join: the master assigns one)")
+		workers    = flag.Int("workers", 1, "total worker count the static placement is derived over")
+		replicas   = flag.Int("replicas", 1, "copies per partition (match pawmaster)")
+		placeRule  = flag.String("placement", "mod", "placement rule deriving this worker's partitions: mod or ring (match pawmaster)")
+		vnodes     = flag.Int("vnodes", membership.DefaultVNodes, "virtual nodes per worker for -placement ring (match pawmaster)")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
 		metrics    = flag.String("metrics", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address; empty disables")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		joinAddr  = flag.String("join", "", "master client address to join (elastic membership; empty: static fleet, no handshake)")
+		advertise = flag.String("advertise", "", "scan-serving address to advertise in the join handshake (default: the bound -listen address)")
+		beatEvery = flag.Duration("heartbeat-every", 500*time.Millisecond, "heartbeat period once joined")
+		leaveWait = flag.Duration("leave-timeout", 2*time.Minute, "how long SIGINT waits for the master to drain this worker before exiting anyway")
 	)
 	flag.Parse()
 	if _, err := obs.SetupLogger(*logLevel); err != nil {
 		fatalf("%v", err)
 	}
-	if *dataPath == "" || *layoutPath == "" {
-		fatalf("-data and -layout are required")
+	fresh := *dataPath == "" && *layoutPath == ""
+	if fresh && *joinAddr == "" {
+		fatalf("-data and -layout are required (only a -join worker may start empty)")
 	}
-	if *index < 0 || *index >= *workers {
-		fatalf("index %d out of range for %d workers", *index, *workers)
+	if !fresh && (*dataPath == "" || *layoutPath == "") {
+		fatalf("-data and -layout go together")
 	}
-	if *replicas < 1 || *replicas > *workers {
-		fatalf("-replicas %d out of range for %d workers", *replicas, *workers)
-	}
-	data := loadData(*dataPath)
-	l := loadLayout(*layoutPath)
-	store := blockstore.Materialize(l, data, blockstore.Config{})
 
-	var mine []layout.ID
-	for _, p := range l.Parts {
-		for r := 0; r < *replicas; r++ {
-			if (int(p.ID)+r)%*workers == *index {
-				mine = append(mine, p.ID)
-				break
-			}
+	var (
+		w    *dist.Worker
+		mine []layout.ID
+	)
+	if fresh {
+		w = dist.NewWorker(nil, nil)
+	} else {
+		if *index < 0 || *index >= *workers {
+			fatalf("index %d out of range for %d workers (a worker with data needs its slot; only fresh -join workers omit -index)", *index, *workers)
 		}
+		if *replicas < 1 || *replicas > *workers {
+			fatalf("-replicas %d out of range for %d workers", *replicas, *workers)
+		}
+		data := loadData(*dataPath)
+		l := loadLayout(*layoutPath)
+		store := blockstore.Materialize(l, data, blockstore.Config{})
+		rep, err := placementFor(l, *placeRule, *workers, *replicas, *vnodes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mine = membership.HostedIDs(rep, *index)
+		w = dist.NewWorker(store, mine)
 	}
-	w := dist.NewWorker(store, mine)
+
 	if *metrics != "" {
 		reg := obs.New()
 		w.SetMetrics(reg)
@@ -83,10 +117,74 @@ func main() {
 	}
 	fmt.Printf("pawworker %d/%d serving %d partitions on %s\n", *index, *workers, len(mine), addr)
 
+	// Elastic mode: join handshake (the checksum proves master and worker
+	// derived the same partition set), then heartbeats until shutdown.
+	var hb *dist.Heartbeater
+	if *joinAddr != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = addr
+		}
+		hb = dist.NewHeartbeater(*joinAddr, dist.TransportBinary)
+		// Fleets come up in any order: retry a refused join until the deadline
+		// so workers started before the master still converge. A checksum
+		// rejection is not retried — no amount of waiting fixes disagreeing
+		// flags.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		resp, err := hb.Join(ctx, *index, adv, membership.Checksum(mine))
+		for err != nil && ctx.Err() == nil && !strings.Contains(err.Error(), "digest") {
+			time.Sleep(500 * time.Millisecond)
+			resp, err = hb.Join(ctx, *index, adv, membership.Checksum(mine))
+		}
+		cancel()
+		if err != nil {
+			fatalf("joining %s: %v", *joinAddr, err)
+		}
+		hb.Start(*beatEvery)
+		slog.Info("joined cluster", "master", *joinAddr, "slot", resp.Index,
+			"epoch", resp.Epoch, "advertise", adv)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	if hb != nil {
+		// Graceful leave: the master drains this worker's partitions onto the
+		// rest of the fleet before we stop serving. A refused or timed-out
+		// drain is logged and the worker exits anyway — the failure detector
+		// and a forced rebalance recover the data from the replicas.
+		ctx, cancel := context.WithTimeout(context.Background(), *leaveWait)
+		if _, err := hb.Leave(ctx); err != nil {
+			slog.Warn("graceful leave failed, exiting undrained", "err", err)
+		} else {
+			slog.Info("drained and left the cluster")
+		}
+		cancel()
+		hb.Close()
+	}
 	w.Close()
+}
+
+// placementFor derives the shared placement of the static fleet under the
+// named rule — the same derivation pawmaster runs, so the join checksum only
+// matches when every flag agrees.
+func placementFor(l *layout.Layout, rule string, workers, replicas, vnodes int) (rep map[layout.ID][]int, err error) {
+	ids := make([]layout.ID, len(l.Parts))
+	for i, p := range l.Parts {
+		ids[i] = p.ID
+	}
+	switch rule {
+	case "mod":
+		return membership.ModPlacement(ids, workers, replicas), nil
+	case "ring":
+		all := make([]int, workers)
+		for i := range all {
+			all[i] = i
+		}
+		return membership.RingPlacement(ids, all, replicas, vnodes), nil
+	default:
+		return nil, fmt.Errorf("unknown -placement %q (want mod or ring)", rule)
+	}
 }
 
 func loadData(path string) *dataset.Dataset {

@@ -11,6 +11,7 @@ const (
 	ScanSchema         = "paw/bench-scan/v1"
 	ServingSchema      = "paw/bench-serving/v1"
 	DriftSchema        = "paw/bench-drift/v1"
+	RebalanceSchema    = "paw/bench-rebalance/v1"
 )
 
 // Host identifies the machine and toolchain a benchmark artifact was

@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+// The rebalance benchmark drives the full elastic lifecycle on a live
+// cluster; its acceptance contract doubles as a regression gate: the join
+// moves close to the consistent-hash ideal, the leave drains everything it
+// hosted, and the oracle-checked availability stays at 1.0 — the cluster
+// never answers wrong mid-move.
+func TestRebalanceBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebalance bench drives a live cluster")
+	}
+	cfg := tinyConfig()
+	rep, err := RebalanceBench(cfg, RebalanceOptions{Rows: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Schema != RebalanceSchema {
+		t.Fatalf("schema = %q, want %q", rep.Meta.Schema, RebalanceSchema)
+	}
+	if len(rep.Events) != 2 || rep.Events[0].Event != "join" || rep.Events[1].Event != "leave" {
+		t.Fatalf("events = %+v, want [join leave]", rep.Events)
+	}
+	for _, ev := range rep.Events {
+		if ev.MovedPartitions <= 0 || ev.MovedBytes <= 0 {
+			t.Errorf("%s: nothing moved: %+v", ev.Event, ev)
+		}
+		if ev.QueriesDuring == 0 {
+			t.Errorf("%s: no concurrent queries observed", ev.Event)
+		}
+		if ev.WrongAnswers != 0 {
+			t.Errorf("%s: %d wrong answers during the move", ev.Event, ev.WrongAnswers)
+		}
+		if ev.Availability < 1 {
+			t.Errorf("%s: availability %.4f, want 1.0 (errors %d, wrong %d)",
+				ev.Event, ev.Availability, ev.QueryErrors, ev.WrongAnswers)
+		}
+	}
+	join := rep.Events[0]
+	// The minimal-movement bound, mirroring the dist-layer test: the ring
+	// ships about total/(N+1) copies; 2.5x covers vnode skew.
+	if bound := int(join.IdealMoves*2.5) + 1; join.MovedPartitions > bound {
+		t.Errorf("join moved %d copies, want <= %d (ideal %.1f)",
+			join.MovedPartitions, bound, join.IdealMoves)
+	}
+	leave := rep.Events[1]
+	if float64(leave.MovedPartitions) != leave.IdealMoves {
+		t.Errorf("leave moved %d copies, want exactly the %d it hosted",
+			leave.MovedPartitions, int(leave.IdealMoves))
+	}
+}

@@ -29,6 +29,8 @@ const (
 	msgQueryResp
 	msgAdminReq
 	msgAdminResp
+	msgMemberReq
+	msgMemberResp
 )
 
 // Error codes carried in QueryResponse.ErrCode alongside Err. Code 0 with a
@@ -283,12 +285,64 @@ func (q *AdminRequest) UnmarshalWire(data []byte) error {
 
 // AppendWire encodes the admin response for the frame protocol.
 func (s *AdminResponse) AppendWire(buf []byte) []byte {
-	return appendString(buf, s.Err)
+	buf = appendString(buf, s.Err)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Payload)))
+	buf = append(buf, s.Payload...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Rows))
+	return buf
 }
 
 // UnmarshalWire decodes an encoded AdminResponse.
 func (s *AdminResponse) UnmarshalWire(data []byte) error {
 	r := reader{buf: data}
+	s.Err = r.str()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return r.err
+	}
+	s.Payload = nil
+	if n > 0 {
+		s.Payload = append([]byte(nil), r.buf[r.off:r.off+n]...)
+	}
+	r.off += n
+	s.Rows = r.i64()
+	return r.err
+}
+
+// AppendWire encodes the membership request for the frame protocol.
+func (q *MemberRequest) AppendWire(buf []byte) []byte {
+	buf = append(buf, byte(q.Op))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(q.Index)))
+	buf = appendString(buf, q.Addr)
+	buf = binary.LittleEndian.AppendUint64(buf, q.Sum)
+	return buf
+}
+
+// UnmarshalWire decodes an encoded MemberRequest.
+func (q *MemberRequest) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	q.Op = int(r.u8())
+	q.Index = int(r.i64())
+	q.Addr = r.str()
+	q.Sum = r.u64()
+	return r.err
+}
+
+// AppendWire encodes the membership response for the frame protocol.
+func (s *MemberResponse) AppendWire(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(s.Index)))
+	buf = binary.LittleEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Version)
+	return appendString(buf, s.Err)
+}
+
+// UnmarshalWire decodes an encoded MemberResponse.
+func (s *MemberResponse) UnmarshalWire(data []byte) error {
+	r := reader{buf: data}
+	s.Index = int(r.i64())
+	s.Epoch = r.u64()
+	s.Version = r.u64()
 	s.Err = r.str()
 	return r.err
 }

@@ -11,12 +11,14 @@ import (
 	"log/slog"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"paw/internal/geom"
 	"paw/internal/layout"
+	"paw/internal/obs"
 	"paw/internal/placement"
 	"paw/internal/router"
 	"paw/internal/serve"
@@ -74,6 +76,14 @@ type Config struct {
 	// MaxQueuedPerClient bounds each client's admission queue (default 32;
 	// only meaningful with MaxInflightQueries > 0).
 	MaxQueuedPerClient int
+
+	// DrainTimeout bounds the post-cutover wait for in-flight old-epoch
+	// queries before the old epoch is retired on the workers (default 30s).
+	// Queries still running after it fail with an unknown-epoch error and
+	// retry-route against the new layout; the bound only exists so a wedged
+	// query cannot pin an epoch forever. Expiries with queries still in
+	// flight are counted (MetricDrainTimeouts).
+	DrainTimeout time.Duration
 }
 
 // DefaultConfig returns the production defaults: the default retry policy,
@@ -92,6 +102,7 @@ func DefaultConfig() Config {
 		ResultCacheSize:    256,
 		MaxInflightQueries: 256,
 		MaxQueuedPerClient: 32,
+		DrainTimeout:       30 * time.Second,
 	}
 }
 
@@ -106,6 +117,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxInflightQueries > 0 && c.MaxQueuedPerClient < 1 {
 		c.MaxQueuedPerClient = 32
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -134,25 +148,86 @@ type Master struct {
 	tracer  atomic.Pointer[trace.Tracer]
 	costLog atomic.Pointer[trace.CostLog]
 
-	cfg      Config
-	jit      *jitter
-	breakers []breaker
-	seq      atomic.Uint64 // request-ID source
+	cfg Config
+	jit *jitter
+	seq atomic.Uint64 // request-ID source
+
+	// fleet is the elastic worker-set snapshot (addresses, breakers, down
+	// flags, call timers), swapped atomically when a worker joins or moves
+	// so the scatter path reads it lock-free (DESIGN.md §15). The lazily
+	// dialed transports (links) stay under mu and grow with the fleet.
+	fleet atomic.Pointer[fleet]
+	// member, when non-nil, is the membership subsystem: the heartbeat
+	// failure detector plus the rebalancer (EnableMembership).
+	member atomic.Pointer[membershipState]
 
 	// planCache/resultCache are nil when disabled; admission likewise.
 	planCache   *serve.LRU[string, cachedPlan]
 	resultCache *serve.LRU[string, QueryResponse]
 	admission   *serve.Admission
 
-	mu       sync.Mutex
-	links    []workerLink
-	addrs    []string
-	listener net.Listener
-	closed   bool
-	wg       sync.WaitGroup
+	mu         sync.Mutex
+	links      []workerLink
+	metricsReg *obs.Registry
+	listener   net.Listener
+	closed     bool
+	wg         sync.WaitGroup
 	// m is the optional distributed-path telemetry (SetMetrics); the zero
 	// value is fully disabled.
 	m masterMetrics
+}
+
+// fleet is one immutable snapshot of the worker set: addresses, breakers,
+// liveness flags and call timers, indexed by worker slot. Mutations (join,
+// address change, metrics attach) clone the slice headers under the master
+// mutex and swap the snapshot; the per-worker state itself — breakers, down
+// flags — is carried by pointer, so it survives snapshot swaps and a breaker
+// keeps its failure history across a fleet growth.
+type fleet struct {
+	addrs    []string
+	breakers []*breaker
+	// down marks workers the failure detector declared Dead: the scatter
+	// path deprioritises them exactly like an open breaker, but the flag
+	// flips on membership transitions rather than call outcomes.
+	down   []*atomic.Bool
+	timers []*obs.Timer
+}
+
+func newFleet(addrs []string) *fleet {
+	f := &fleet{
+		addrs:    append([]string(nil), addrs...),
+		breakers: make([]*breaker, len(addrs)),
+		down:     make([]*atomic.Bool, len(addrs)),
+	}
+	for i := range f.breakers {
+		f.breakers[i] = &breaker{}
+		f.down[i] = new(atomic.Bool)
+	}
+	return f
+}
+
+// clone copies the slice headers, sharing the per-worker state pointers.
+func (f *fleet) clone() *fleet {
+	return &fleet{
+		addrs:    append([]string(nil), f.addrs...),
+		breakers: append([]*breaker(nil), f.breakers...),
+		down:     append([]*atomic.Bool(nil), f.down...),
+		timers:   append([]*obs.Timer(nil), f.timers...),
+	}
+}
+
+// timer returns worker i's call timer (nil when metrics are disabled — nil
+// timers no-op).
+func (f *fleet) timer(i int) *obs.Timer {
+	if i >= len(f.timers) {
+		return nil
+	}
+	return f.timers[i]
+}
+
+// isDown reports whether the failure detector has declared worker i dead.
+func (f *fleet) isDown(i int) bool {
+	return i < len(f.down) && f.down[i].Load()
 }
 
 // NewMaster wires the router with worker addresses and a single-copy
@@ -170,10 +245,9 @@ func NewMasterReplicated(r *router.Master, workerAddrs []string, rep placement.R
 		return nil, fmt.Errorf("dist: %w", err)
 	}
 	m := &Master{
-		breakers: make([]breaker, len(workerAddrs)),
-		links:    make([]workerLink, len(workerAddrs)),
-		addrs:    append([]string(nil), workerAddrs...),
+		links: make([]workerLink, len(workerAddrs)),
 	}
+	m.fleet.Store(newFleet(workerAddrs))
 	m.view.Store(&routeView{router: r, replicas: rep})
 	m.Configure(DefaultConfig())
 	return m, nil
@@ -197,8 +271,47 @@ func (m *Master) Epoch() uint64 { return m.view.Load().epoch }
 // Router returns the router of the currently served layout epoch.
 func (m *Master) Router() *router.Master { return m.view.Load().router }
 
-// NumWorkers returns the size of the fixed worker fleet.
-func (m *Master) NumWorkers() int { return len(m.addrs) }
+// NumWorkers returns the current worker-slot count. Slots are stable for
+// the master's lifetime: the fleet grows on joins and never compacts, so
+// partition placements can name workers by index across membership changes.
+func (m *Master) NumWorkers() int { return len(m.fleet.Load().addrs) }
+
+// addWorker appends a fresh worker slot and returns its index. Callers must
+// serialise slot growth (the membership join path holds its own mutex) so
+// the fleet index always matches the tracker index.
+func (m *Master) addWorker(addr string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.fleet.Load().clone()
+	idx := len(f.addrs)
+	f.addrs = append(f.addrs, addr)
+	f.breakers = append(f.breakers, &breaker{})
+	f.down = append(f.down, new(atomic.Bool))
+	if m.metricsReg != nil {
+		f.timers = append(f.timers, m.metricsReg.Timer(obs.Label(MetricWorkerCallNs, "worker", strconv.Itoa(idx))))
+	}
+	m.links = append(m.links, nil)
+	m.fleet.Store(f)
+	return idx
+}
+
+// setWorkerAddr rebinds worker i to addr — a rejoin from a new host — and
+// drops its stale link so the next call redials the new address.
+func (m *Master) setWorkerAddr(i int, addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.fleet.Load()
+	if i < 0 || i >= len(f.addrs) || f.addrs[i] == addr {
+		return
+	}
+	nf := f.clone()
+	nf.addrs[i] = addr
+	m.fleet.Store(nf)
+	if i < len(m.links) && m.links[i] != nil {
+		m.links[i].close()
+		m.links[i] = nil
+	}
+}
 
 // Placement returns the current partition placement (shared, do not mutate).
 func (m *Master) Placement() placement.Replicated { return m.view.Load().replicas }
@@ -309,30 +422,37 @@ func (m *Master) InvalidateCaches() {
 // dial respects ctx's deadline.
 func (m *Master) workerLink(ctx context.Context, i int) (workerLink, error) {
 	m.mu.Lock()
-	if m.links[i] != nil {
+	if i < len(m.links) && m.links[i] != nil {
 		l := m.links[i]
 		m.mu.Unlock()
 		return l, nil
 	}
 	m.mu.Unlock()
+	addr := m.fleet.Load().addrs[i]
+	if addr == "" {
+		return nil, fmt.Errorf("dist: worker %d has no address (not joined yet)", i)
+	}
 	var l workerLink
 	switch m.cfg.Transport {
 	case TransportGob:
 		var d net.Dialer
-		nc, err := d.DialContext(ctx, "tcp", m.addrs[i])
+		nc, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
-			return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], ctxErr(ctx, err))
+			return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, addr, ctxErr(ctx, err))
 		}
 		l = &gobLink{c: newConn(nc)}
 	default:
-		ml, err := dialMuxLink(ctx, m.addrs[i], m.cfg.ConnsPerWorker)
+		ml, err := dialMuxLink(ctx, addr, m.cfg.ConnsPerWorker)
 		if err != nil {
-			return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, m.addrs[i], ctxErr(ctx, err))
+			return nil, fmt.Errorf("dist: dialing worker %d (%s): %w", i, addr, ctxErr(ctx, err))
 		}
 		l = ml
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for i >= len(m.links) {
+		m.links = append(m.links, nil)
+	}
 	if m.links[i] != nil {
 		// A concurrent caller won the dial race; keep theirs.
 		l.close()
@@ -350,7 +470,7 @@ func (m *Master) workerLink(ctx context.Context, i int) (workerLink, error) {
 func (m *Master) dropWorkerLink(i int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.links[i] != nil {
+	if i < len(m.links) && m.links[i] != nil {
 		m.links[i].close()
 		m.links[i] = nil
 	}
@@ -379,11 +499,12 @@ func (e errWorkerUnhealthy) Error() string {
 func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *ScanResponse, budget *atomic.Int64, tq *trace.T, parent trace.SpanRef, round int) error {
 	req.Seq = m.seq.Add(1)
 	req.TraceID = tq.ID()
+	f := m.fleet.Load()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ok, probe := m.breakers[w].allow(m.cfg.Retry, time.Now())
+		ok, probe := f.breakers[w].allow(m.cfg.Retry, time.Now())
 		if !ok {
 			m.m.breakerShorts.Inc()
 			return errWorkerUnhealthy{w}
@@ -411,7 +532,7 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 		l, err := m.workerLink(cctx, w)
 		if err == nil {
 			*resp = ScanResponse{} // a failed prior attempt may have partially decoded
-			sp := m.m.workerTimer(w).Start()
+			sp := f.timer(w).Start()
 			err = l.scan(cctx, &req, resp)
 			sp.End()
 		}
@@ -421,7 +542,7 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 				tq.Attach(rpc, resp.Spans)
 			}
 			rpc.End()
-			m.breakers[w].success()
+			f.breakers[w].success()
 			return nil
 		}
 		rpc.Int(trace.KeyError, 1)
@@ -441,7 +562,7 @@ func (m *Master) callWorker(ctx context.Context, w int, req ScanRequest, resp *S
 			m.m.failures.Inc()
 			return err
 		}
-		if m.breakers[w].failure(m.cfg.Retry, time.Now()) {
+		if f.breakers[w].failure(m.cfg.Retry, time.Now()) {
 			m.m.breakerTrips.Inc()
 		}
 		if attempt+1 >= m.cfg.Retry.MaxAttempts {
@@ -689,7 +810,7 @@ func (m *Master) query(ctx context.Context, client, sql string, allowPartial, ex
 			Dims:              st.dims,
 			Ranges:            resp.SubQueries,
 			PartitionsTouched: resp.PartitionsScanned,
-			Workers:           len(m.addrs),
+			Workers:           m.NumWorkers(),
 			Rows:              resp.Rows,
 			BytesRead:         resp.BytesScanned,
 			BytesSkipped:      resp.BytesSkipped,
@@ -855,12 +976,16 @@ func (m *Master) serveQuery(ctx context.Context, client, sql string, allowPartia
 }
 
 // pickWorker chooses the next worker to scan partition id on: the first
-// untried replica whose breaker admits calls, else the first untried replica
-// at all (it will consume the breaker probe or fail fast), else -1 when the
-// replica set is exhausted.
+// untried replica that is not membership-dead and whose breaker admits
+// calls, then the first untried non-dead replica (it will consume the
+// breaker probe or fail fast), then the first untried replica at all — a
+// dead mark is a strong hint, not a verdict, so a replica set whose every
+// member is marked dead is still tried rather than silently failed. -1 when
+// the replica set is exhausted.
 func (m *Master) pickWorker(v *routeView, id layout.ID, tried map[int]bool) int {
+	f := m.fleet.Load()
 	now := time.Now()
-	first := -1
+	first, firstUp := -1, -1
 	for _, w := range v.replicas[id] {
 		if tried[w] {
 			continue
@@ -868,9 +993,18 @@ func (m *Master) pickWorker(v *routeView, id layout.ID, tried map[int]bool) int 
 		if first < 0 {
 			first = w
 		}
-		if m.breakers[w].healthy(m.cfg.Retry, now) {
+		if f.isDown(w) {
+			continue
+		}
+		if firstUp < 0 {
+			firstUp = w
+		}
+		if f.breakers[w].healthy(m.cfg.Retry, now) {
 			return w
 		}
+	}
+	if firstUp >= 0 {
+		return firstUp
 	}
 	return first
 }
@@ -1006,6 +1140,10 @@ func (m *Master) Start(addr string) (string, error) {
 	}
 	m.listener = l
 	m.mu.Unlock()
+	if ms := m.member.Load(); ms != nil && ms.cfg.TickEvery > 0 {
+		m.wg.Add(1)
+		go m.memberTickLoop(ms)
+	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -1067,15 +1205,24 @@ func (m *Master) handleQueryRequest(client string, req QueryRequest) QueryRespon
 func (m *Master) serveBinaryClient(c net.Conn, br *bufio.Reader) {
 	client := c.RemoteAddr().String()
 	err := serve.ServeConn(c, br, m.cfg.ClientPipeline, func(typ byte, payload []byte) (byte, serve.Marshaler, error) {
-		if typ != msgQueryReq {
+		switch typ {
+		case msgQueryReq:
+			var req QueryRequest
+			if err := req.UnmarshalWire(payload); err != nil {
+				return 0, nil, err
+			}
+			resp := m.handleQueryRequest(client, req)
+			return msgQueryResp, &resp, nil
+		case msgMemberReq:
+			var req MemberRequest
+			if err := req.UnmarshalWire(payload); err != nil {
+				return 0, nil, err
+			}
+			resp := m.handleMember(&req)
+			return msgMemberResp, &resp, nil
+		default:
 			return 0, nil, fmt.Errorf("dist: unexpected client frame type %d", typ)
 		}
-		var req QueryRequest
-		if err := req.UnmarshalWire(payload); err != nil {
-			return 0, nil, err
-		}
-		resp := m.handleQueryRequest(client, req)
-		return msgQueryResp, &resp, nil
 	})
 	if err != nil && !errors.Is(err, io.EOF) && !m.isClosed() {
 		m.m.clientsDropped.Inc()
@@ -1098,7 +1245,16 @@ func (m *Master) serveGobClient(c net.Conn, br *bufio.Reader) {
 			}
 			return
 		}
-		resp := m.handleQueryRequest(client, req)
+		var resp QueryResponse
+		if req.Member != nil {
+			// The member envelope: the homogeneous gob stream cannot carry
+			// a second message type, so membership traffic rides inside the
+			// query exchange (QueryRequest.Member / QueryResponse.Member).
+			mresp := m.handleMember(req.Member)
+			resp = QueryResponse{Member: &mresp}
+		} else {
+			resp = m.handleQueryRequest(client, req)
+		}
 		if err := enc.Encode(&resp); err != nil {
 			m.m.clientsDropped.Inc()
 			return
@@ -1129,6 +1285,9 @@ func (m *Master) Close() error {
 		}
 	}
 	m.mu.Unlock()
+	if ms := m.member.Load(); ms != nil {
+		ms.shutdown()
+	}
 	var err error
 	if l != nil {
 		err = l.Close()

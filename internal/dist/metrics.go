@@ -89,6 +89,24 @@ const (
 	MetricWorkerInstalls       = "worker_partition_installs_total"
 	MetricWorkerInstalledBytes = "worker_installed_bytes_total"
 	MetricWorkerEpochRetires   = "worker_epoch_retires_total"
+
+	// Membership and rebalance counters (DESIGN.md §15): the elastic
+	// fleet's footprint. Joins/leaves/rejections count handshakes; the
+	// state gauges snapshot the failure detector; the rebalance counters
+	// accumulate the minimal-movement deltas actually shipped; drain
+	// timeouts count epoch retirements that gave up waiting for in-flight
+	// old-epoch queries.
+	MetricMemberJoins       = "dist_member_joins_total"
+	MetricMemberJoinRejects = "dist_member_join_rejects_total"
+	MetricMemberLeaves      = "dist_member_leaves_total"
+	MetricMembersAlive      = "dist_members_alive"
+	MetricMembersSuspect    = "dist_members_suspect"
+	MetricMembersDead       = "dist_members_dead"
+	MetricRebalances        = "dist_rebalances_total"
+	MetricRebalanceParts    = "dist_rebalance_moved_partitions_total"
+	MetricRebalanceBytes    = "dist_rebalance_moved_bytes_total"
+	MetricRebalanceDeferred = "dist_rebalance_deferred_total"
+	MetricDrainTimeouts     = "dist_drain_timeouts_total"
 )
 
 // FanoutBuckets are the histogram bounds for scatter width (workers hit per
@@ -114,7 +132,6 @@ type masterMetrics struct {
 	deadlines      *obs.Counter
 	partials       *obs.Counter
 	clientsDropped *obs.Counter
-	workerCalls    []*obs.Timer
 
 	planHits           *obs.Counter
 	planMisses         *obs.Counter
@@ -134,6 +151,18 @@ type masterMetrics struct {
 	cacheRemapped      *obs.Counter
 	cacheSwept         *obs.Counter
 	layoutEpoch        *obs.Gauge
+
+	memberJoins         *obs.Counter
+	joinRejects         *obs.Counter
+	memberLeaves        *obs.Counter
+	membersAlive        *obs.Gauge
+	membersSuspect      *obs.Gauge
+	membersDead         *obs.Gauge
+	rebalances          *obs.Counter
+	rebalanceMovedParts *obs.Counter
+	rebalanceMovedBytes *obs.Counter
+	rebalanceDeferred   *obs.Counter
+	drainTimeouts       *obs.Counter
 }
 
 // SetMetrics attaches (or, with nil, detaches) master telemetry: query
@@ -142,6 +171,22 @@ type masterMetrics struct {
 // counters (retries, failovers, breaker transitions, deadline expiries,
 // partial results, dropped client sessions).
 func (m *Master) SetMetrics(reg *obs.Registry) {
+	// Rebuild the fleet's per-worker call timers under mu so a concurrent
+	// join sees either the old or the new timer set, never a torn one. The
+	// registry is remembered so workers that join later get their own timer.
+	m.mu.Lock()
+	m.metricsReg = reg
+	f := m.fleet.Load().clone()
+	if reg == nil {
+		f.timers = nil
+	} else {
+		f.timers = make([]*obs.Timer, len(f.addrs))
+		for i := range f.timers {
+			f.timers[i] = reg.Timer(obs.Label(MetricWorkerCallNs, "worker", strconv.Itoa(i)))
+		}
+	}
+	m.fleet.Store(f)
+	m.mu.Unlock()
 	if reg == nil {
 		m.m = masterMetrics{}
 		return
@@ -180,21 +225,20 @@ func (m *Master) SetMetrics(reg *obs.Registry) {
 		cacheRemapped:      reg.Counter(MetricCacheRemapped),
 		cacheSwept:         reg.Counter(MetricCacheSwept),
 		layoutEpoch:        reg.Gauge(MetricLayoutEpoch),
-	}
-	mm.workerCalls = make([]*obs.Timer, len(m.addrs))
-	for i := range mm.workerCalls {
-		mm.workerCalls[i] = reg.Timer(obs.Label(MetricWorkerCallNs, "worker", strconv.Itoa(i)))
+
+		memberJoins:         reg.Counter(MetricMemberJoins),
+		joinRejects:         reg.Counter(MetricMemberJoinRejects),
+		memberLeaves:        reg.Counter(MetricMemberLeaves),
+		membersAlive:        reg.Gauge(MetricMembersAlive),
+		membersSuspect:      reg.Gauge(MetricMembersSuspect),
+		membersDead:         reg.Gauge(MetricMembersDead),
+		rebalances:          reg.Counter(MetricRebalances),
+		rebalanceMovedParts: reg.Counter(MetricRebalanceParts),
+		rebalanceMovedBytes: reg.Counter(MetricRebalanceBytes),
+		rebalanceDeferred:   reg.Counter(MetricRebalanceDeferred),
+		drainTimeouts:       reg.Counter(MetricDrainTimeouts),
 	}
 	m.m = mm
-}
-
-// workerTimer returns worker i's call timer (nil when disabled — nil timers
-// no-op).
-func (mm *masterMetrics) workerTimer(i int) *obs.Timer {
-	if mm.workerCalls == nil || i >= len(mm.workerCalls) {
-		return nil
-	}
-	return mm.workerCalls[i]
 }
 
 // workerMetrics is the optional worker-side telemetry.

@@ -103,7 +103,8 @@ func (m *Master) validateMigration(mig *Migration) error {
 		return fmt.Errorf("dist: migration targets epoch %d, master serves %d", mig.Epoch, cur.epoch)
 	}
 	nl := mig.Router.Layout()
-	if err := mig.Replicas.Validate(nl, len(m.addrs)); err != nil {
+	workers := m.NumWorkers()
+	if err := mig.Replicas.Validate(nl, workers); err != nil {
 		return fmt.Errorf("dist: migration placement: %w", err)
 	}
 	seen := make(map[layout.ID]bool, len(mig.Entries))
@@ -119,8 +120,8 @@ func (m *Master) validateMigration(mig *Migration) error {
 			return fmt.Errorf("dist: migration entry %d has no workers", e.ID)
 		}
 		for _, w := range e.Workers {
-			if w < 0 || w >= len(m.addrs) {
-				return fmt.Errorf("dist: migration entry %d names worker %d of %d", e.ID, w, len(m.addrs))
+			if w < 0 || w >= workers {
+				return fmt.Errorf("dist: migration entry %d names worker %d of %d", e.ID, w, workers)
 			}
 		}
 		if e.ReuseID >= 0 && mig.Renamed[e.ReuseID] != e.ID {
@@ -134,13 +135,6 @@ func (m *Master) validateMigration(mig *Migration) error {
 	}
 	return nil
 }
-
-// drainTimeout bounds the post-cutover wait for in-flight old-epoch queries
-// before the old epoch is retired on the workers. Queries still running
-// after it would fail with an unknown-epoch error and retry-route against
-// the new layout; the bound only exists so a wedged query cannot pin an
-// epoch forever.
-const drainTimeout = 30 * time.Second
 
 // ApplyMigration executes one epoch transition (see the package comment
 // above for the protocol). Only one migration may run at a time; the master
@@ -195,7 +189,16 @@ func (m *Master) ApplyMigration(ctx context.Context, mig *Migration) error {
 			m.m.reusedPartitions.Inc()
 		}
 		for _, w := range e.Workers {
-			if err := m.adminCall(ctx, w, req); err != nil {
+			wreq := req
+			if e.ReuseID >= 0 && len(e.Payload) > 0 && !workerHolds(cur.replicas[e.ReuseID], w) {
+				// Hybrid entry (a rebalance move): this worker does not hold
+				// the source partition under the current epoch, so it gets
+				// the payload; workers that already hold it alias for free.
+				wreq.ReuseID = -1
+				wreq.Payload = e.Payload
+				m.m.migratedBytes.Add(int64(len(e.Payload)))
+			}
+			if err := m.adminCall(ctx, w, wreq); err != nil {
 				m.abortMigration(am)
 				return fmt.Errorf("dist: installing partition %d (epoch %d) on worker %d: %w", e.ID, mig.Epoch, w, err)
 			}
@@ -216,13 +219,28 @@ func (m *Master) ApplyMigration(ctx context.Context, mig *Migration) error {
 	// Retire the old epoch once no in-flight query can still reference it.
 	// Best-effort: a worker that is down redials on the next admin call or
 	// drops the stale view when it restarts.
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), m.cfg.DrainTimeout)
 	for cur.inflight.Load() > 0 && drainCtx.Err() == nil {
 		time.Sleep(time.Millisecond)
 	}
 	cancel()
+	if n := cur.inflight.Load(); n > 0 {
+		m.m.drainTimeouts.Inc()
+		slog.Warn("epoch drain timed out, retiring anyway",
+			"epoch", cur.epoch, "inflight", n, "timeout", m.cfg.DrainTimeout)
+	}
 	m.retireEpoch(cur.epoch)
 	return nil
+}
+
+// workerHolds reports whether w appears in the replica set ws.
+func workerHolds(ws []int, w int) bool {
+	for _, h := range ws {
+		if h == w {
+			return true
+		}
+	}
+	return false
 }
 
 // abortMigration tears down a failed migration: double-routing stops, the
@@ -238,7 +256,7 @@ func (m *Master) abortMigration(am *activeMigration) {
 
 // retireEpoch asks every worker to drop a layout epoch, best-effort.
 func (m *Master) retireEpoch(epoch uint64) {
-	for w := range m.addrs {
+	for w, n := 0, m.NumWorkers(); w < n; w++ {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		err := m.adminCall(ctx, w, AdminRequest{Op: AdminRetire, Epoch: epoch})
 		cancel()
@@ -248,16 +266,24 @@ func (m *Master) retireEpoch(epoch uint64) {
 	}
 }
 
-// adminCall performs one admin RPC against worker w with bounded retries
-// under the configured backoff. It deliberately bypasses the breakers — a
-// migration install is not query serving, and its failure handling is
-// "abort the migration", not "fail over".
+// adminCall performs one admin RPC against worker w, discarding the
+// response body.
 func (m *Master) adminCall(ctx context.Context, w int, req AdminRequest) error {
+	_, err := m.adminCallResp(ctx, w, req)
+	return err
+}
+
+// adminCallResp performs one admin RPC against worker w with bounded retries
+// under the configured backoff, returning the worker's response (AdminFetch
+// answers carry the encoded partition). It deliberately bypasses the
+// breakers — a migration install is not query serving, and its failure
+// handling is "abort the migration", not "fail over".
+func (m *Master) adminCallResp(ctx context.Context, w int, req AdminRequest) (AdminResponse, error) {
 	req.Seq = m.seq.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < m.cfg.Retry.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return err
+			return AdminResponse{}, err
 		}
 		cctx := ctx
 		cancel := func() {}
@@ -273,10 +299,10 @@ func (m *Master) adminCall(ctx context.Context, w int, req AdminRequest) error {
 		if err == nil && resp.Err != "" {
 			// The worker executed and refused (bad payload, unknown alias):
 			// retrying cannot help.
-			return errors.New(resp.Err)
+			return resp, errors.New(resp.Err)
 		}
 		if err == nil {
-			return nil
+			return resp, nil
 		}
 		lastErr = err
 		if !serve.IsNotSent(err) {
@@ -284,13 +310,13 @@ func (m *Master) adminCall(ctx context.Context, w int, req AdminRequest) error {
 			m.m.redials.Inc()
 		}
 		if ctx.Err() != nil {
-			return lastErr
+			return AdminResponse{}, lastErr
 		}
 		if serr := sleepCtx(ctx, m.jit.backoff(m.cfg.Retry, attempt)); serr != nil {
-			return lastErr
+			return AdminResponse{}, lastErr
 		}
 	}
-	return lastErr
+	return AdminResponse{}, lastErr
 }
 
 // sweepCaches runs the per-partition cache invalidation at cutover. Plan

@@ -65,6 +65,11 @@ const (
 	// AdminRetire drops a whole layout epoch and the partitions only it
 	// references.
 	AdminRetire = 2
+	// AdminFetch asks the worker to encode and return one partition it hosts
+	// — the rebalancer's data source: a joining worker receives payloads
+	// fetched from the current holders, so the master never needs the raw
+	// dataset to move partitions (DESIGN.md §15).
+	AdminFetch = 3
 )
 
 // AdminRequest is the master-to-worker migration control message: install a
@@ -91,9 +96,12 @@ type AdminRequest struct {
 	Seq uint64
 }
 
-// AdminResponse reports the admin outcome ("" = success).
+// AdminResponse reports the admin outcome ("" = success). For AdminFetch,
+// Payload carries the colstore-encoded partition and Rows its row count.
 type AdminResponse struct {
-	Err string
+	Err     string
+	Payload []byte
+	Rows    int64
 }
 
 // ScanResponse reports the scan outcome. On a per-partition failure the
@@ -134,6 +142,14 @@ type QueryRequest struct {
 	// samples it regardless of the tracing configuration and returns the
 	// assembled span tree in QueryResponse.Spans.
 	Trace bool
+	// Member, when non-nil, makes this exchange a membership operation (join
+	// handshake, heartbeat, graceful leave) instead of a query — the envelope
+	// that lets member traffic ride the legacy gob session loop, whose
+	// homogeneous QueryRequest stream cannot carry a second message type.
+	// The binary transport uses dedicated member frames instead. SQL is
+	// ignored when Member is set; nil (the overwhelmingly common case) gob-
+	// encodes to nothing.
+	Member *MemberRequest
 }
 
 // QueryResponse is the master's reply after scattering the scan work.
@@ -158,6 +174,9 @@ type QueryResponse struct {
 	// byte-identical whether master-side tracing is on or off.
 	TraceID uint64
 	Spans   []trace.Span
+	// Member answers a membership operation (QueryRequest.Member); nil on
+	// every query response.
+	Member *MemberResponse
 }
 
 // conn wraps a TCP connection with its gob codec pair and a mutex so

@@ -1,0 +1,237 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paw/internal/membership"
+)
+
+// Rebalance tests: the minimal-movement property (a join moves roughly
+// 1/(N+1) of the copies, never a reshuffle), exactness of every query served
+// during and after the move, budget-deferred rounds, and the drain-timeout
+// accounting. The cluster is ring-placed from the start so the ring delta is
+// the true minimum.
+
+// TestRebalanceJoinMovementBound: joining one fresh worker must ship close
+// to the consistent-hash ideal — P·R/(N+1) copies — and stay exact
+// throughout, with queries hammering the master concurrently with the move.
+func TestRebalanceJoinMovementBound(t *testing.T) {
+	const nWorkers, replicas = 3, 2
+	tc := startElasticCluster(t, nWorkers, replicas, 6000, elasticMemberConfig(), fastMigConfig())
+	tc.checkExact(t)
+
+	// Query load concurrent with the whole join+rebalance: every response
+	// must be exact regardless of where the cutover lands.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			for _, b := range tc.probes() {
+				resp, err := tc.master.Query(migSQL(tc.data.Names(), b))
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+				if want := tc.data.CountInBox(b, nil); resp.Rows != want {
+					select {
+					case errc <- context.DeadlineExceeded:
+					default:
+					}
+					t.Errorf("concurrent query: %d rows, want %d", resp.Rows, want)
+					return
+				}
+			}
+		}
+	}()
+
+	idx, _ := tc.joinFreshWorker(t)
+	report, err := tc.master.Rebalance(context.Background(), false)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case qerr := <-errc:
+		t.Fatalf("concurrent query failed: %v", qerr)
+	default:
+	}
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if report.Epoch != 1 {
+		t.Fatalf("epoch = %d after rebalance, want 1", report.Epoch)
+	}
+	if got := len(membership.HostedIDs(tc.master.Placement(), idx)); got == 0 {
+		t.Fatal("joiner hosts nothing after rebalance")
+	}
+	tc.checkExact(t)
+
+	// The movement bound, asserted numerically: the ring moves about
+	// total/(N+1) copies to the joiner; 2.5x covers vnode skew on small
+	// partition counts.
+	total := len(tc.layout.Parts) * replicas
+	ideal := float64(total) / float64(nWorkers+1)
+	bound := int(ideal*2.5) + 1
+	if report.MovedPartitions > bound {
+		t.Errorf("join moved %d copies, want <= %d (ideal %.1f of %d total, slack 2.5x)",
+			report.MovedPartitions, bound, ideal, total)
+	}
+	if report.MovedPartitions == 0 {
+		t.Error("a join must move something")
+	}
+	if report.MovedBytes <= 0 {
+		t.Error("moved bytes must be accounted")
+	}
+	snap := tc.reg.Snapshot()
+	if got := snap.Counter(MetricRebalances); got != 1 {
+		t.Errorf("rebalances = %d, want 1", got)
+	}
+	if got := snap.Counter(MetricRebalanceParts); got != int64(report.MovedPartitions) {
+		t.Errorf("moved-partitions counter = %d, want %d", got, report.MovedPartitions)
+	}
+	if got := snap.Counter(MetricRebalanceBytes); got != report.MovedBytes {
+		t.Errorf("moved-bytes counter = %d, want %d", got, report.MovedBytes)
+	}
+
+	// A second round is a no-op: the placement already matches the ring, so
+	// nothing moves and no epoch burns (no-thrash).
+	again, err := tc.master.Rebalance(context.Background(), false)
+	if err != nil {
+		t.Fatalf("idempotent rebalance: %v", err)
+	}
+	if again.MovedPartitions != 0 || again.Epoch != 1 {
+		t.Errorf("second rebalance moved %d copies to epoch %d, want 0 moves at epoch 1",
+			again.MovedPartitions, again.Epoch)
+	}
+}
+
+// TestRebalanceLeaveDrainsEverything: a graceful leave must pull every copy
+// off the departing worker in one round regardless of the byte budget, so
+// the worker can exit without stranding data.
+func TestRebalanceLeaveDrainsEverything(t *testing.T) {
+	mcfg := elasticMemberConfig()
+	mcfg.MaxMoveBytes = 1 // absurdly small: a leave must ignore it
+	tc := startElasticCluster(t, 3, 2, 4000, mcfg, fastMigConfig())
+	tc.checkExact(t)
+	hostedBefore := len(membership.HostedIDs(tc.master.Placement(), 0))
+	if hostedBefore == 0 {
+		t.Fatal("fixture: worker 0 must host partitions")
+	}
+
+	resp := tc.master.handleMember(&MemberRequest{Op: MemberLeave, Index: 0})
+	if resp.Err != "" {
+		t.Fatalf("leave: %s", resp.Err)
+	}
+	if got := len(membership.HostedIDs(tc.master.Placement(), 0)); got != 0 {
+		t.Fatalf("left worker still hosts %d partitions (budget must not defer a drain)", got)
+	}
+	view, _ := tc.master.MembershipView()
+	if mem, _ := view.Member(0); mem.State != membership.Left {
+		t.Fatalf("worker 0 state = %v, want Left", mem.State)
+	}
+	tc.workers[0].Close()
+	tc.checkExact(t)
+	if got := tc.reg.Snapshot().Counter(MetricMemberLeaves); got != 1 {
+		t.Errorf("member leaves = %d, want 1", got)
+	}
+}
+
+// TestRebalanceBudgetDefersColdMoves: a small byte budget ships the hottest
+// moves now and defers the rest; queries stay exact on the partial target,
+// and a follow-up unbudgeted round finishes the job.
+func TestRebalanceBudgetDefersColdMoves(t *testing.T) {
+	mcfg := elasticMemberConfig()
+	mcfg.MaxMoveBytes = 1 // first move always ships; everything else defers
+	tc := startElasticCluster(t, 3, 2, 6000, mcfg, fastMigConfig())
+	tc.joinFreshWorker(t)
+
+	first, err := tc.master.Rebalance(context.Background(), false)
+	if err != nil {
+		t.Fatalf("budgeted rebalance: %v", err)
+	}
+	if first.Deferred == 0 {
+		t.Fatal("a 1-byte budget must defer moves")
+	}
+	if first.MovedPartitions == 0 {
+		t.Fatal("a budgeted round must still make progress")
+	}
+	tc.checkExact(t)
+	if got := tc.reg.Snapshot().Counter(MetricRebalanceDeferred); got != int64(first.Deferred) {
+		t.Errorf("deferred counter = %d, want %d", got, first.Deferred)
+	}
+
+	second, err := tc.master.Rebalance(context.Background(), true)
+	if err != nil {
+		t.Fatalf("full rebalance: %v", err)
+	}
+	if second.Deferred != 0 {
+		t.Errorf("unbudgeted round deferred %d moves, want 0", second.Deferred)
+	}
+	tc.checkExact(t)
+	// Converged: one more round moves nothing.
+	final, err := tc.master.Rebalance(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.MovedPartitions != 0 {
+		t.Errorf("converged cluster moved %d copies", final.MovedPartitions)
+	}
+}
+
+// TestRebalanceDrainTimeoutCounted: when in-flight old-epoch queries outlast
+// DrainTimeout, the cutover proceeds anyway and the expiry is counted.
+func TestRebalanceDrainTimeoutCounted(t *testing.T) {
+	cfg := fastMigConfig()
+	cfg.DrainTimeout = 5 * time.Millisecond
+	tc := startElasticCluster(t, 2, 1, 2000, elasticMemberConfig(), cfg)
+	tc.joinFreshWorker(t)
+	// Pin a phantom in-flight query on the serving view so the drain cannot
+	// complete.
+	tc.master.view.Load().inflight.Add(1)
+	if _, err := tc.master.Rebalance(context.Background(), false); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if got := tc.reg.Snapshot().Counter(MetricDrainTimeouts); got != 1 {
+		t.Errorf("drain timeouts = %d, want 1", got)
+	}
+	tc.checkExact(t)
+}
+
+// TestRebalanceAutoTriggersOnTick: with AutoRebalance on, a tick after a
+// join (placeable member hosting nothing) kicks off the rebalance without
+// anyone calling Rebalance, and a converged cluster stops triggering.
+func TestRebalanceAutoTriggersOnTick(t *testing.T) {
+	mcfg := elasticMemberConfig()
+	mcfg.AutoRebalance = true
+	mcfg.RebalanceCooldown = time.Nanosecond
+	tc := startElasticCluster(t, 2, 1, 2000, mcfg, fastMigConfig())
+	idx, _ := tc.joinFreshWorker(t)
+
+	tc.master.MembershipTick(time.Now())
+	deadline := time.Now().Add(5 * time.Second)
+	for len(membership.HostedIDs(tc.master.Placement(), idx)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-rebalance did not run within 5s of the trigger tick")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tc.checkExact(t)
+
+	// Converged: further ticks must not burn epochs.
+	epoch := tc.master.Epoch()
+	for i := 0; i < 5; i++ {
+		tc.master.MembershipTick(time.Now())
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := tc.master.Epoch(); got != epoch {
+		t.Errorf("ticks on a converged cluster moved the epoch %d -> %d", epoch, got)
+	}
+}

@@ -142,6 +142,23 @@ func (w *Worker) handleAdmin(req AdminRequest) AdminResponse {
 		w.mu.Unlock()
 		w.m.epochRetires.Inc()
 		return AdminResponse{}
+	case AdminFetch:
+		tab, useStore, err := w.lookup(req.Epoch, req.ID)
+		if err != nil {
+			return AdminResponse{Err: fmt.Sprintf("fetching partition %d: %v", req.ID, err)}
+		}
+		if useStore {
+			sp, err := w.store.Partition(req.ID)
+			if err != nil {
+				return AdminResponse{Err: fmt.Sprintf("fetching partition %d: %v", req.ID, err)}
+			}
+			tab = sp.Table
+		}
+		var buf bytes.Buffer
+		if err := tab.Encode(&buf); err != nil {
+			return AdminResponse{Err: fmt.Sprintf("encoding partition %d: %v", req.ID, err)}
+		}
+		return AdminResponse{Payload: buf.Bytes(), Rows: int64(tab.NumRows())}
 	case AdminInstall:
 		var tab *colstore.Table
 		if req.ReuseID < 0 {
